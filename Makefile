@@ -1,0 +1,35 @@
+# Convenience targets for the sfcmem reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures figures-quick cover race clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper figure + extension study (tens of minutes).
+figures:
+	$(GO) run ./cmd/sfcbench -fig 0 -v -out results_full.txt -csv csv
+
+figures-quick:
+	$(GO) run ./cmd/sfcbench -fig 0 -quick
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	rm -rf csv frames lod test_output.txt bench_output.txt

@@ -1,0 +1,154 @@
+// Command cachesim records kernel memory-access traces to disk and
+// replays them through simulated cache platforms — collect once,
+// analyze under as many hierarchies as you like.
+//
+//	cachesim -record trace.sfct -kernel bilat -layout array -size 32 -radius 2 -axis pz -order zyx
+//	cachesim -replay trace.sfct -platform ivy/32
+//	cachesim -replay trace.sfct -platform mic/32 -reuse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfcmem/internal/cache"
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
+	"sfcmem/internal/render"
+	"sfcmem/internal/reuse"
+	"sfcmem/internal/trace"
+	"sfcmem/internal/volume"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record a kernel trace to this file")
+		replay   = flag.String("replay", "", "replay a trace file through a simulated platform")
+		kernel   = flag.String("kernel", "bilat", "record: kernel (bilat or volrend)")
+		layout   = flag.String("layout", "array", "record: memory layout")
+		size     = flag.Int("size", 32, "record: volume edge")
+		radius   = flag.Int("radius", 2, "record: bilat stencil radius")
+		axis     = flag.String("axis", "pz", "record: bilat pencil axis")
+		order    = flag.String("order", "zyx", "record: bilat iteration order")
+		view     = flag.Int("view", 2, "record: volrend orbit viewpoint")
+		img      = flag.Int("image", 64, "record: volrend image edge")
+		seed     = flag.Uint64("seed", 1, "record: dataset seed")
+		platform = flag.String("platform", "ivy/32", "replay: platform (ivy, mic, with /N scaling)")
+		doReuse  = flag.Bool("reuse", false, "replay: also compute the reuse-distance profile")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "" && *replay != "":
+		fatal(fmt.Errorf("choose one of -record or -replay"))
+	case *record != "":
+		if err := doRecord(*record, *kernel, *layout, *size, *radius, *axis, *order, *view, *img, *seed); err != nil {
+			fatal(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *platform, *doReuse); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, kernel, layoutName string, size, radius int, axis, order string, view, img int, seed uint64) error {
+	kind, err := core.ParseKind(layoutName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	l := core.New(kind, size, size, size)
+	switch kernel {
+	case "bilat":
+		ax, err := parallel.ParseAxis(axis)
+		if err != nil {
+			return err
+		}
+		ord, err := filter.ParseOrder(order)
+		if err != nil {
+			return err
+		}
+		src := volume.MRIPhantom(l, seed, 0.05)
+		dst := grid.New(core.New(kind, size, size, size))
+		err = filter.ApplyViews(
+			[]grid.Reader{grid.NewTraced(src, 0, w)},
+			[]grid.Writer{grid.NewTraced(dst, 1<<40, w)},
+			filter.Options{Radius: radius, Axis: ax, Order: ord, Workers: 1})
+		if err != nil {
+			return err
+		}
+	case "volrend":
+		vol := volume.CombustionPlume(l, seed)
+		cam := render.Orbit(view, 8, size, size, size, img, img)
+		_, err = render.RenderViews(
+			[]grid.Reader{grid.NewTraced(vol, 0, w)},
+			cam, render.DefaultTransferFunc(), render.Options{Workers: 1})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown kernel %q (bilat or volrend)", kernel)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses (%d bytes, %.2f bytes/access) to %s\n",
+		w.Count(), st.Size(), float64(st.Size())/float64(w.Count()), path)
+	return nil
+}
+
+func doReplay(path, platName string, withReuse bool) error {
+	p, err := cache.ParsePlatform(platName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sys := cache.NewSystem(p, 1)
+	sinks := trace.MultiSink{sys.Front(0)}
+	var an *reuse.Analyzer
+	if withReuse {
+		an = reuse.NewAnalyzer(1 << 20)
+		sinks = append(sinks, an)
+	}
+	n, err := trace.Replay(f, sinks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d accesses through %s\n", n, p.Name)
+	fmt.Print(sys.Report())
+	if an != nil {
+		fmt.Print(an.Histogram())
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachesim:", err)
+	os.Exit(1)
+}

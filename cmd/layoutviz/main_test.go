@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// hz2 must be a bijection on the square, with the coarse lattice first
+// (2D analogue of core.HZOrder's contiguous-prefix property).
+func TestHZ2Bijective(t *testing.T) {
+	const n = 8
+	const totalBits = 6 // 2 * log2(8)
+	seen := make(map[int]bool, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			h := hz2(x, y, totalBits)
+			if h < 0 || h >= n*n {
+				t.Fatalf("hz2(%d,%d)=%d out of range", x, y, h)
+			}
+			if seen[h] {
+				t.Fatalf("hz2(%d,%d)=%d duplicated", x, y, h)
+			}
+			seen[h] = true
+		}
+	}
+	// Level-1 lattice (even coordinates) occupies the first quarter.
+	for y := 0; y < n; y += 2 {
+		for x := 0; x < n; x += 2 {
+			if h := hz2(x, y, totalBits); h >= n*n/4 {
+				t.Errorf("coarse point (%d,%d) at %d, outside prefix %d", x, y, h, n*n/4)
+			}
+		}
+	}
+}

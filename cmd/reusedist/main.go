@@ -1,0 +1,97 @@
+// Command reusedist profiles the kernels' memory-access streams with
+// the reuse-distance analyzer and prints, for each layout, the
+// architecture-independent LRU miss-ratio curve — how the miss ratio
+// falls as the cache grows. A layout with better locality pushes the
+// curve's knee toward smaller caches; this is the paper's Fig. 1
+// intuition expressed as a single cache-size-agnostic plot.
+//
+//	reusedist -kernel bilat -size 32 -radius 2 -axis pz -order zyx
+//	reusedist -kernel volrend -size 32 -view 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
+	"sfcmem/internal/render"
+	"sfcmem/internal/reuse"
+	"sfcmem/internal/volume"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "bilat", "kernel to profile: bilat or volrend")
+		size   = flag.Int("size", 32, "volume edge")
+		radius = flag.Int("radius", 2, "bilat: stencil radius")
+		axis   = flag.String("axis", "pz", "bilat: pencil axis")
+		order  = flag.String("order", "zyx", "bilat: stencil iteration order")
+		view   = flag.Int("view", 2, "volrend: orbit viewpoint")
+		img    = flag.Int("image", 64, "volrend: image edge")
+		seed   = flag.Uint64("seed", 1, "dataset seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("reuse-distance curves, %s kernel, %d³ volume\n\n", *kernel, *size)
+	fmt.Printf("%-12s", "cache lines")
+	kinds := core.Kinds()
+	for _, k := range kinds {
+		fmt.Printf(" %10s", k)
+	}
+	fmt.Println()
+
+	curves := make(map[core.Kind][]float64)
+	var sizes []int
+	for _, kind := range kinds {
+		h, err := profile(*kernel, kind, *size, *radius, *axis, *order, *view, *img, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reusedist:", err)
+			os.Exit(1)
+		}
+		sizes, curves[kind] = h.Curve(4, 20)
+	}
+	for i, c := range sizes {
+		fmt.Printf("%-12d", c)
+		for _, kind := range kinds {
+			fmt.Printf(" %10.4f", curves[kind][i])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(lower is better; each column is the predicted LRU miss ratio at that cache size)")
+}
+
+func profile(kernel string, kind core.Kind, size, radius int, axis, order string, view, img int, seed uint64) (reuse.Histogram, error) {
+	an := reuse.NewAnalyzer(1 << 20)
+	l := core.New(kind, size, size, size)
+	switch kernel {
+	case "bilat":
+		ax, err := parallel.ParseAxis(axis)
+		if err != nil {
+			return reuse.Histogram{}, err
+		}
+		ord, err := filter.ParseOrder(order)
+		if err != nil {
+			return reuse.Histogram{}, err
+		}
+		src := volume.MRIPhantom(l, seed, 0.05)
+		dst := grid.New(core.New(kind, size, size, size))
+		err = filter.ApplyViews(
+			[]grid.Reader{grid.NewTraced(src, 0, an)},
+			[]grid.Writer{grid.NewTraced(dst, 1<<40, an)},
+			filter.Options{Radius: radius, Axis: ax, Order: ord, Workers: 1})
+		return an.Histogram(), err
+	case "volrend":
+		vol := volume.CombustionPlume(l, seed)
+		cam := render.Orbit(view, 8, size, size, size, img, img)
+		_, err := render.RenderViews(
+			[]grid.Reader{grid.NewTraced(vol, 0, an)},
+			cam, render.DefaultTransferFunc(),
+			render.Options{Workers: 1})
+		return an.Histogram(), err
+	}
+	return reuse.Histogram{}, fmt.Errorf("unknown kernel %q (bilat or volrend)", kernel)
+}

@@ -1,0 +1,146 @@
+// Command sfcbench regenerates the paper's tables and figures.
+//
+// Each figure of the evaluation section maps to -fig N (1..6), the
+// repo's extension studies to -fig 7 (reuse-distance curves) and -fig 8
+// (padding + auto-tuning ablation) and -fig 9 (per-level counter breakdown) and -fig 10 (slice/LOD query costs); -fig 0 runs everything in order,
+// which is how EXPERIMENTS.md is produced:
+//
+//	sfcbench -fig 0 -out results.txt
+//
+// The -quick flag shrinks the grid for smoke runs. Volume sizes, thread
+// sweeps and the cache scale can be overridden individually.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"sfcmem/internal/harness"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to reproduce (1-6 paper, 7-10 extensions); 0 = all")
+		quick      = flag.Bool("quick", false, "use the reduced smoke-test grid")
+		out        = flag.String("out", "", "also write results to this file")
+		csvDir     = flag.String("csv", "", "also write each figure's tables as CSV into this directory")
+		bilatSize  = flag.Int("bilat-size", 0, "override bilateral wall-clock volume edge")
+		bilatSim   = flag.Int("bilat-sim-size", 0, "override bilateral cache-sim volume edge")
+		volSize    = flag.Int("vol-size", 0, "override renderer wall-clock volume edge")
+		volSim     = flag.Int("vol-sim-size", 0, "override renderer cache-sim volume edge")
+		imgSize    = flag.Int("image", 0, "override renderer image edge")
+		simImg     = flag.Int("sim-image", 0, "override renderer cache-sim image edge")
+		cacheScale = flag.Int("cache-scale", 0, "override cache capacity scale factor (power of two)")
+		reps       = flag.Int("reps", 0, "override wall-clock repetitions (min kept)")
+		seed       = flag.Uint64("seed", 0, "override dataset seed")
+		ivy        = flag.String("ivy-threads", "", "override IvyBridge thread sweep, e.g. 2,8,24")
+		mic        = flag.String("mic-threads", "", "override MIC thread sweep, e.g. 59,118")
+		verbose    = flag.Bool("v", false, "print progress for each cell")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	setIf := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	setIf(&cfg.BilatSize, *bilatSize)
+	setIf(&cfg.BilatSimSize, *bilatSim)
+	setIf(&cfg.VolSize, *volSize)
+	setIf(&cfg.VolSimSize, *volSim)
+	setIf(&cfg.ImageSize, *imgSize)
+	setIf(&cfg.SimImageSize, *simImg)
+	setIf(&cfg.CacheScale, *cacheScale)
+	setIf(&cfg.Reps, *reps)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	var err error
+	if cfg.IvyThreads, err = parseThreads(*ivy, cfg.IvyThreads); err != nil {
+		fatal(err)
+	}
+	if cfg.MICThreads, err = parseThreads(*mic, cfg.MICThreads); err != nil {
+		fatal(err)
+	}
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	figs := []int{*fig}
+	if *fig == 0 {
+		figs = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	var text strings.Builder
+	fmt.Fprintf(&text, "sfcmem experiment run — %s %s/%s, GOMAXPROCS=%d\n",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&text, "config: bilat %d³ (sim %d³), volrend %d³ (sim %d³), image %d (sim %d), cache-scale %d, seed %d, reps %d\n\n",
+		cfg.BilatSize, cfg.BilatSimSize, cfg.VolSize, cfg.VolSimSize,
+		cfg.ImageSize, cfg.SimImageSize, cfg.CacheScale, cfg.Seed, cfg.Reps)
+	for _, n := range figs {
+		res, err := harness.Figure(n, cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		text.WriteString(res.Text)
+		text.WriteString("\n")
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, res); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Print(text.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeCSVs dumps a figure's tables as <dir>/<figname>_<i>.csv.
+func writeCSVs(dir string, res harness.FigureResult) error {
+	if len(res.Tables) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", res.Name, i))
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseThreads(s string, def []int) ([]int, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sfcbench: bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sfcbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sfcmem/internal/harness"
+	"sfcmem/internal/stats"
+)
+
+func TestParseThreads(t *testing.T) {
+	def := []int{1, 2}
+	got, err := parseThreads("", def)
+	if err != nil || len(got) != 2 {
+		t.Errorf("default passthrough: %v %v", got, err)
+	}
+	got, err = parseThreads("2, 8,24", def)
+	if err != nil || len(got) != 3 || got[2] != 24 {
+		t.Errorf("parse: %v %v", got, err)
+	}
+	for _, bad := range []string{"x", "0", "-3", "1,,2"} {
+		if _, err := parseThreads(bad, def); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	tb := stats.NewTable("t", []string{"r"}, []string{"c"})
+	tb.Set(0, 0, 1)
+	res := harness.FigureResult{Name: "figX", Tables: []*stats.Table{tb}}
+	if err := writeCSVs(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figX_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "row,c\n") {
+		t.Errorf("csv content %q", data)
+	}
+	// Table-less figures are a no-op.
+	if err := writeCSVs(dir, harness.FigureResult{Name: "none"}); err != nil {
+		t.Error(err)
+	}
+}

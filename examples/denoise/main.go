@@ -1,0 +1,115 @@
+// Denoise: the paper's bilateral-filter use case as a small pipeline.
+//
+// Generates a noisy MRI-like phantom, denoises it with the 3D bilateral
+// filter (edge-preserving) and with plain Gaussian convolution
+// (edge-blurring) for contrast, and reports the noise reduction and edge
+// retention of each, plus the runtime under both memory layouts.
+//
+//	go run ./examples/denoise [-size 64] [-noise 0.08]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
+	"sfcmem/internal/volume"
+)
+
+func main() {
+	size := flag.Int("size", 64, "volume edge")
+	noise := flag.Float64("noise", 0.08, "additive noise sigma")
+	threads := flag.Int("threads", 4, "worker count")
+	flag.Parse()
+	n := *size
+
+	// Ground truth (noise-free) and the noisy observation.
+	clean := volume.MRIPhantom(core.NewArrayOrder(n, n, n), 1, 0)
+	noisy := volume.MRIPhantom(core.NewArrayOrder(n, n, n), 1, *noise)
+	fmt.Printf("noisy input:    RMSE vs truth = %.4f\n", rmse(noisy, clean))
+
+	opts := filter.Options{
+		Radius:       2,
+		SigmaSpatial: 1.5,
+		SigmaRange:   0.15,
+		Axis:         parallel.AxisX,
+		Workers:      *threads,
+	}
+
+	// Edge-preserving bilateral vs plain Gaussian.
+	bilat := grid.New(core.NewArrayOrder(n, n, n))
+	if err := filter.Apply(noisy, bilat, opts); err != nil {
+		log.Fatal(err)
+	}
+	gauss := grid.New(core.NewArrayOrder(n, n, n))
+	if err := filter.GaussianConvolve(noisy, gauss, opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bilateral:      RMSE vs truth = %.4f\n", rmse(bilat, clean))
+	fmt.Printf("gaussian:       RMSE vs truth = %.4f\n", rmse(gauss, clean))
+
+	// Edge retention: sharpest step along the center row (the skull
+	// boundary). Bilateral should keep most of it; Gaussian blurs it.
+	fmt.Printf("edge step: truth %.3f, bilateral %.3f, gaussian %.3f\n",
+		edgeStep(clean), edgeStep(bilat), edgeStep(gauss))
+
+	// Same pipeline under the Z-order layout: identical output, and on
+	// memory-bound machines, less data movement (the paper's point).
+	znoisy, err := noisy.Relayout(core.NewZOrder(n, n, n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	zout := grid.New(core.NewZOrder(n, n, n))
+	o2 := opts
+	o2.Axis = parallel.AxisZ
+	o2.Order = filter.ZYX
+
+	start := time.Now()
+	if err := filter.Apply(znoisy, zout, o2); err != nil {
+		log.Fatal(err)
+	}
+	tz := time.Since(start)
+	aout := grid.New(core.NewArrayOrder(n, n, n))
+	start = time.Now()
+	if err := filter.Apply(noisy, aout, o2); err != nil {
+		log.Fatal(err)
+	}
+	ta := time.Since(start)
+	fmt.Printf("against-the-grain sweep (pz, zyx): array %v, zorder %v\n", ta, tz)
+	if !grid.Equal(aout, zout) {
+		log.Fatal("layouts disagree")
+	}
+	fmt.Println("outputs identical across layouts ✓")
+}
+
+func rmse(a, b *grid.Grid) float64 {
+	nx, ny, nz := a.Dims()
+	var sum float64
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				d := float64(a.At(i, j, k)) - float64(b.At(i, j, k))
+				sum += d * d
+			}
+		}
+	}
+	return math.Sqrt(sum / float64(nx*ny*nz))
+}
+
+func edgeStep(g *grid.Grid) float64 {
+	nx, ny, nz := g.Dims()
+	var best float64
+	for i := 1; i < nx; i++ {
+		d := math.Abs(float64(g.At(i, ny/2, nz/2)) - float64(g.At(i-1, ny/2, nz/2)))
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}

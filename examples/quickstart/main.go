@@ -1,0 +1,75 @@
+// Quickstart: the library in one minute.
+//
+// Build the same volume under array order and Z order, access it through
+// the identical Index-based API, run one kernel over each, and print the
+// locality numbers that explain the difference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/volume"
+)
+
+func main() {
+	const n = 64
+
+	// 1. Two layouts, one logical volume. The layout is the ONLY thing
+	// that differs; everything downstream uses Index(i,j,k) access.
+	arrayLayout := core.NewArrayOrder(n, n, n)
+	zLayout := core.NewZOrder(n, n, n)
+
+	src := volume.MRIPhantom(arrayLayout, 1, 0.05)
+	zsrc, err := src.Relayout(zLayout)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The same element is reachable in both; only its address moved.
+	fmt.Printf("value at (10,20,30): array=%.4f zorder=%.4f\n",
+		src.At(10, 20, 30), zsrc.At(10, 20, 30))
+	fmt.Printf("linear offset of (10,20,30): array=%d zorder=%d\n",
+		arrayLayout.Index(10, 20, 30), zLayout.Index(10, 20, 30))
+
+	// 3. Why it matters: the physical distance of a unit step in each
+	// direction (the paper's Fig. 1, quantified).
+	for _, l := range []core.Layout{arrayLayout, zLayout} {
+		x := core.AxisStride(l, 0).Mean
+		y := core.AxisStride(l, 1).Mean
+		z := core.AxisStride(l, 2).Mean
+		fmt.Printf("%-6s mean unit-step distance: x=%7.1f y=%7.1f z=%7.1f elements\n",
+			l.Name(), x, y, z)
+	}
+
+	// 4. Run the paper's structured-access kernel over both and check
+	// the results agree bitwise — the layout is transparent.
+	opts := filter.Options{Radius: 2, Axis: 0, Order: filter.ZYX, Workers: 4}
+	dstA := grid.New(core.NewArrayOrder(n, n, n))
+	dstZ := grid.New(core.NewZOrder(n, n, n))
+
+	start := time.Now()
+	if err := filter.Apply(src, dstA, opts); err != nil {
+		log.Fatal(err)
+	}
+	tA := time.Since(start)
+
+	start = time.Now()
+	if err := filter.Apply(zsrc, dstZ, opts); err != nil {
+		log.Fatal(err)
+	}
+	tZ := time.Since(start)
+
+	fmt.Printf("bilateral 5³ stencil, zyx order: array %v, zorder %v\n", tA, tZ)
+	if grid.Equal(dstA, dstZ) {
+		fmt.Println("outputs identical across layouts ✓")
+	} else {
+		fmt.Println("BUG: outputs differ across layouts")
+	}
+}

@@ -1,0 +1,3 @@
+module sfcmem
+
+go 1.22

@@ -1,0 +1,227 @@
+// Package cache implements a trace-driven, multi-level, set-associative
+// cache simulator. It is the repo's stand-in for the PAPI hardware
+// counters the paper reads (PAPI_L3_TCA on Ivy Bridge,
+// L2_DATA_READ_MISS_MEM_FILL on Intel MIC): the kernels replay their
+// exact memory-access streams through a simulated hierarchy and the
+// per-level hit/miss counters provide the same "how often did requests
+// escape the inner caches" signal, deterministically and without
+// hardware access.
+//
+// The model: private L1/L2 per simulated thread, an optional shared last
+// level (Ivy Bridge's 30MB L3), LRU replacement, write-allocate,
+// write-back. Cache coherence between private hierarchies is not
+// modeled; the paper's kernels share data read-only (the source volume)
+// and partition their writes, so coherence traffic is not the signal of
+// interest.
+package cache
+
+import "fmt"
+
+// LineBytes is the cache-line size used throughout (both test platforms
+// use 64-byte lines).
+const LineBytes = 64
+
+const lineShift = 6
+
+// Policy selects a replacement policy. The paper's §II-A motivates
+// auto-tuning partly because "cache replacement strategies are often
+// unknown"; the simulator makes the policy explicit and swappable.
+type Policy int
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used way (the default).
+	LRU Policy = iota
+	// FIFO evicts the oldest-inserted way, ignoring hits.
+	FIFO
+	// RandomPolicy evicts a deterministically pseudo-random way.
+	RandomPolicy
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case RandomPolicy:
+		return "random"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string // "L1", "L2", "L3"
+	SizeBytes int    // total capacity
+	Ways      int    // associativity
+	Policy    Policy // replacement policy (zero value: LRU)
+}
+
+// Sets returns the number of sets implied by the config.
+func (c LevelConfig) Sets() int { return c.SizeBytes / LineBytes / c.Ways }
+
+func (c LevelConfig) validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: level %s: size and ways must be positive", c.Name)
+	}
+	if c.SizeBytes%(LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: level %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	return nil
+}
+
+// Counters accumulates per-level statistics.
+type Counters struct {
+	Accesses     uint64 // demand accesses (reads + writes) presented to this level
+	Reads        uint64
+	Writes       uint64
+	Hits         uint64
+	Misses       uint64
+	ReadMisses   uint64
+	WriteMisses  uint64
+	Evictions    uint64
+	WritebacksIn uint64 // dirty-eviction writebacks received from the level above
+}
+
+// Add accumulates other into c (for summing per-thread private levels).
+func (c *Counters) Add(other Counters) {
+	c.Accesses += other.Accesses
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+	c.ReadMisses += other.ReadMisses
+	c.WriteMisses += other.WriteMisses
+	c.Evictions += other.Evictions
+	c.WritebacksIn += other.WritebacksIn
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched level.
+func (c Counters) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// level is one set-associative cache array.
+type level struct {
+	cfg  LevelConfig
+	sets int
+	// Flattened [set][way] arrays.
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	used  []uint64 // LRU/FIFO timestamps
+	tick  uint64
+	rng   uint64 // RandomPolicy state
+
+	Counters
+}
+
+func newLevel(cfg LevelConfig) *level {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	n := sets * cfg.Ways
+	return &level{
+		cfg:   cfg,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		dirty: make([]bool, n),
+		used:  make([]uint64, n),
+		rng:   0x9e3779b97f4a7c15,
+	}
+}
+
+// lookup probes for line; on hit it refreshes LRU state and optionally
+// marks the line dirty. It does not touch counters.
+func (l *level) lookup(line uint64, markDirty bool) bool {
+	set := int(line % uint64(l.sets))
+	base := set * l.cfg.Ways
+	l.tick++
+	for w := 0; w < l.cfg.Ways; w++ {
+		if l.valid[base+w] && l.tags[base+w] == line {
+			if l.cfg.Policy == LRU {
+				l.used[base+w] = l.tick // FIFO/Random ignore recency
+			}
+			if markDirty {
+				l.dirty[base+w] = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// insert places line into its set, evicting the LRU way if necessary.
+// It returns the evicted line and whether it was dirty.
+func (l *level) insert(line uint64, dirty bool) (evicted uint64, evictedDirty, didEvict bool) {
+	set := int(line % uint64(l.sets))
+	base := set * l.cfg.Ways
+	l.tick++
+	victim := -1
+	for w := 0; w < l.cfg.Ways; w++ {
+		if !l.valid[base+w] {
+			victim = base + w
+			break
+		}
+	}
+	if victim < 0 {
+		switch l.cfg.Policy {
+		case RandomPolicy:
+			// xorshift64*: deterministic pseudo-random way choice.
+			l.rng ^= l.rng >> 12
+			l.rng ^= l.rng << 25
+			l.rng ^= l.rng >> 27
+			victim = base + int((l.rng*0x2545f4914f6cdd1d>>33)%uint64(l.cfg.Ways))
+		default: // LRU and FIFO both evict the smallest timestamp
+			victim = base
+			for w := 1; w < l.cfg.Ways; w++ {
+				if l.used[base+w] < l.used[victim] {
+					victim = base + w
+				}
+			}
+		}
+	}
+	if l.valid[victim] {
+		evicted, evictedDirty, didEvict = l.tags[victim], l.dirty[victim], true
+		l.Evictions++
+	}
+	l.tags[victim] = line
+	l.valid[victim] = true
+	l.dirty[victim] = dirty
+	l.used[victim] = l.tick
+	return evicted, evictedDirty, didEvict
+}
+
+// contains probes without updating LRU or dirty state (for tests and
+// writeback routing).
+func (l *level) contains(line uint64) bool {
+	set := int(line % uint64(l.sets))
+	base := set * l.cfg.Ways
+	for w := 0; w < l.cfg.Ways; w++ {
+		if l.valid[base+w] && l.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// markDirtyIfPresent sets the dirty bit if the line is resident,
+// returning whether it was.
+func (l *level) markDirtyIfPresent(line uint64) bool {
+	set := int(line % uint64(l.sets))
+	base := set * l.cfg.Ways
+	for w := 0; w < l.cfg.Ways; w++ {
+		if l.valid[base+w] && l.tags[base+w] == line {
+			l.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}

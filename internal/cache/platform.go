@@ -1,0 +1,132 @@
+package cache
+
+import "fmt"
+
+// Platform bundles the cache geometry of one test machine: the private
+// per-thread levels (inner first), an optional shared last level, an
+// optional per-thread data TLB, and an optional next-line prefetcher.
+type Platform struct {
+	Name    string
+	Private []LevelConfig
+	Shared  LevelConfig // SizeBytes == 0 means no shared level
+	// TLB, if Entries > 0, simulates a per-thread data TLB alongside
+	// the caches (separate counters; does not affect cache behaviour).
+	TLB TLBConfig
+	// CoreThreads is how many simulated threads (Fronts) share one
+	// core's cache hierarchy; 0 or 1 gives every thread private caches.
+	// The MIC preset uses 4, matching Knight's Corner's four hardware
+	// threads per core (the effect behind the paper's §IV-D discussion
+	// of per-thread counter decline at high thread counts).
+	CoreThreads int
+	// NextLinePrefetch, if set, fetches line+1 into the outermost
+	// private level on each demand miss there — a minimal model of the
+	// sequential streamer real parts ship. It changes (usually lowers)
+	// the demand-miss counters for streaming-friendly layouts, which is
+	// exactly the ablation cmd/sfcbench's users may want to explore; the
+	// paper-reproduction presets leave it off.
+	NextLinePrefetch bool
+}
+
+// IvyBridge models one socket of the paper's edison.nersc.gov nodes:
+// per-core 32KB 8-way L1d and 256KB 8-way L2, and a 30MB 20-way shared
+// L3. The paper's counter on this platform is PAPI_L3_TCA — total L3
+// accesses, i.e. requests that missed both private levels.
+func IvyBridge() Platform {
+	return Platform{
+		Name: "ivybridge",
+		Private: []LevelConfig{
+			{Name: "L1", SizeBytes: 32 << 10, Ways: 8},
+			{Name: "L2", SizeBytes: 256 << 10, Ways: 8},
+		},
+		Shared: LevelConfig{Name: "L3", SizeBytes: 30 << 20, Ways: 20},
+		TLB:    TLBConfig{Entries: 64, PageBytes: 4096},
+	}
+}
+
+// MIC models the paper's babbage.nersc.gov Knight's Corner cards: 32KB
+// 8-way L1 and a per-core 512KB 8-way L2, with no L3 (the paper, §IV-B1:
+// "two levels of caching, as opposed to three in Ivy Bridge"). The
+// counter here is L2_DATA_READ_MISS_MEM_FILL — L2 read misses filled
+// from memory.
+func MIC() Platform {
+	return Platform{
+		Name: "mic",
+		Private: []LevelConfig{
+			{Name: "L1", SizeBytes: 32 << 10, Ways: 8},
+			{Name: "L2", SizeBytes: 512 << 10, Ways: 8},
+		},
+		TLB:         TLBConfig{Entries: 64, PageBytes: 4096},
+		CoreThreads: 4,
+	}
+}
+
+// Scaled returns a copy of p with every capacity divided by factor
+// (associativity preserved). Trace-driven simulation of the paper's full
+// 512³ volumes is impractically slow, so experiments shrink the volume
+// and the caches together, preserving the working-set-to-cache ratios
+// that drive the locality effects. Factor must be a power of two so set
+// counts stay powers of two.
+func Scaled(p Platform, factor int) Platform {
+	if factor <= 0 || factor&(factor-1) != 0 {
+		panic(fmt.Sprintf("cache: scale factor %d must be a positive power of two", factor))
+	}
+	q := Platform{
+		Name:             fmt.Sprintf("%s/%d", p.Name, factor),
+		TLB:              p.TLB,
+		CoreThreads:      p.CoreThreads,
+		NextLinePrefetch: p.NextLinePrefetch,
+	}
+	for _, c := range p.Private {
+		c.SizeBytes /= factor
+		if c.SizeBytes < LineBytes*c.Ways {
+			c.SizeBytes = LineBytes * c.Ways
+		}
+		q.Private = append(q.Private, c)
+	}
+	if p.Shared.SizeBytes > 0 {
+		c := p.Shared
+		c.SizeBytes /= factor
+		if c.SizeBytes < LineBytes*c.Ways {
+			c.SizeBytes = LineBytes * c.Ways
+		}
+		q.Shared = c
+	}
+	return q
+}
+
+// ParsePlatform maps a name to a platform: "ivybridge"/"ivy", "mic".
+// An optional "/N" suffix applies Scaled with factor N (e.g. "ivy/16").
+func ParsePlatform(s string) (Platform, error) {
+	name, factor := s, 1
+	if i := indexByte(s, '/'); i >= 0 {
+		name = s[:i]
+		if _, err := fmt.Sscanf(s[i+1:], "%d", &factor); err != nil {
+			return Platform{}, fmt.Errorf("cache: bad scale suffix in %q", s)
+		}
+	}
+	var p Platform
+	switch name {
+	case "ivybridge", "ivy":
+		p = IvyBridge()
+	case "mic":
+		p = MIC()
+	default:
+		return Platform{}, fmt.Errorf("cache: unknown platform %q", s)
+	}
+	if factor != 1 {
+		if factor <= 0 || factor&(factor-1) != 0 {
+			return Platform{}, fmt.Errorf("cache: scale factor %d must be a power of two", factor)
+		}
+		p = Scaled(p, factor)
+	}
+	return p, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,87 @@
+package cache
+
+// TLBConfig describes a data TLB: a fully-associative, LRU-replaced
+// page-translation cache. Entries == 0 disables TLB simulation.
+//
+// The TLB matters to the paper's story because against-the-grain array-
+// order sweeps touch a new page almost every access (a 512³ float volume
+// has a 1MB slab stride — every z-step crosses 256 pages), while Z-order
+// neighborhoods stay within a handful of pages. The TLB counters expose
+// that second locality axis beyond cache lines.
+type TLBConfig struct {
+	Entries   int // number of translations held; 0 disables
+	PageBytes int // page size; 0 defaults to 4096
+}
+
+// TLBCounters accumulates TLB statistics.
+type TLBCounters struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched TLB.
+func (c TLBCounters) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// tlb is one thread's translation cache.
+type tlb struct {
+	pages     []uint64
+	used      []uint64
+	valid     []bool
+	tick      uint64
+	pageShift uint
+	TLBCounters
+}
+
+func newTLB(cfg TLBConfig) *tlb {
+	if cfg.Entries <= 0 {
+		return nil
+	}
+	page := cfg.PageBytes
+	if page == 0 {
+		page = 4096
+	}
+	if page&(page-1) != 0 {
+		panic("cache: TLB page size must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift < page {
+		shift++
+	}
+	return &tlb{
+		pages:     make([]uint64, cfg.Entries),
+		used:      make([]uint64, cfg.Entries),
+		valid:     make([]bool, cfg.Entries),
+		pageShift: shift,
+	}
+}
+
+// access translates one byte address, updating hit/miss counters and
+// LRU state.
+func (t *tlb) access(addr uint64) {
+	page := addr >> t.pageShift
+	t.Accesses++
+	t.tick++
+	victim := 0
+	for i := range t.pages {
+		if t.valid[i] && t.pages[i] == page {
+			t.used[i] = t.tick
+			t.Hits++
+			return
+		}
+		if !t.valid[i] {
+			victim = i
+		} else if t.valid[victim] && t.used[i] < t.used[victim] {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.used[victim] = t.tick
+}

@@ -1,0 +1,276 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func tlbPlatform(entries int) Platform {
+	return Platform{
+		Name:    "tlbtest",
+		Private: []LevelConfig{{Name: "L1", SizeBytes: 64 << 10, Ways: 8}},
+		TLB:     TLBConfig{Entries: entries, PageBytes: 4096},
+	}
+}
+
+func TestTLBHitsWithinPage(t *testing.T) {
+	sys := NewSystem(tlbPlatform(4), 1)
+	f := sys.Front(0)
+	for a := uint64(0); a < 4096; a += 64 {
+		f.Access(a, false)
+	}
+	r := sys.Report()
+	if r.TLB.Accesses != 64 {
+		t.Errorf("TLB accesses %d", r.TLB.Accesses)
+	}
+	if r.TLB.Misses != 1 {
+		t.Errorf("TLB misses %d, want 1 (single page)", r.TLB.Misses)
+	}
+}
+
+func TestTLBMissesAcrossPages(t *testing.T) {
+	sys := NewSystem(tlbPlatform(4), 1)
+	f := sys.Front(0)
+	// Touch 8 distinct pages twice; 4-entry LRU TLB thrashes.
+	for pass := 0; pass < 2; pass++ {
+		for p := uint64(0); p < 8; p++ {
+			f.Access(p*4096, false)
+		}
+	}
+	r := sys.Report()
+	if r.TLB.Misses != 16 {
+		t.Errorf("TLB misses %d, want 16 (every access misses)", r.TLB.Misses)
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	sys := NewSystem(tlbPlatform(2), 1)
+	f := sys.Front(0)
+	f.Access(0*4096, false) // miss, TLB={0}
+	f.Access(1*4096, false) // miss, TLB={0,1}
+	f.Access(0*4096, false) // hit, 0 recent
+	f.Access(2*4096, false) // miss, evicts 1
+	f.Access(0*4096, false) // hit
+	f.Access(1*4096, false) // miss again
+	r := sys.Report()
+	if r.TLB.Hits != 2 || r.TLB.Misses != 4 {
+		t.Errorf("TLB hits/misses = %d/%d, want 2/4", r.TLB.Hits, r.TLB.Misses)
+	}
+}
+
+func TestTLBDisabled(t *testing.T) {
+	sys := NewSystem(tlbPlatform(0), 1)
+	sys.Front(0).Access(0, false)
+	if r := sys.Report(); r.TLB.Accesses != 0 {
+		t.Errorf("disabled TLB recorded %d accesses", r.TLB.Accesses)
+	}
+}
+
+func TestTLBCountersConserve(t *testing.T) {
+	sys := NewSystem(tlbPlatform(8), 2)
+	for i := uint64(0); i < 1000; i++ {
+		sys.Front(int(i%2)).Access(i*512, i%3 == 0)
+	}
+	r := sys.Report()
+	if r.TLB.Hits+r.TLB.Misses != r.TLB.Accesses {
+		t.Errorf("TLB conservation broken: %+v", r.TLB)
+	}
+	if r.TLB.Accesses != 1000 {
+		t.Errorf("TLB accesses %d", r.TLB.Accesses)
+	}
+	if r.TLB.MissRate() <= 0 || r.TLB.MissRate() > 1 {
+		t.Errorf("TLB miss rate %v", r.TLB.MissRate())
+	}
+}
+
+func TestTLBBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-pow2 page size accepted")
+		}
+	}()
+	newTLB(TLBConfig{Entries: 4, PageBytes: 3000})
+}
+
+func TestPrefetchReducesStreamingMisses(t *testing.T) {
+	base := Platform{
+		Name:    "pf",
+		Private: []LevelConfig{{Name: "L1", SizeBytes: 4 << 10, Ways: 4}},
+	}
+	run := func(p Platform) Report {
+		sys := NewSystem(p, 1)
+		f := sys.Front(0)
+		for a := uint64(0); a < 256<<10; a += 64 {
+			f.Access(a, false)
+		}
+		return sys.Report()
+	}
+	plain := run(base)
+	pf := base
+	pf.NextLinePrefetch = true
+	pfr := run(pf)
+	if pfr.Prefetches == 0 {
+		t.Fatal("prefetcher issued nothing on a streaming scan")
+	}
+	if pfr.PrivateTotal[0].Misses >= plain.PrivateTotal[0].Misses {
+		t.Errorf("prefetch did not reduce demand misses: %d vs %d",
+			pfr.PrivateTotal[0].Misses, plain.PrivateTotal[0].Misses)
+	}
+	if plain.Prefetches != 0 {
+		t.Errorf("prefetches counted with prefetcher off: %d", plain.Prefetches)
+	}
+}
+
+func TestPrefetchScaledPropagates(t *testing.T) {
+	p := IvyBridge()
+	p.NextLinePrefetch = true
+	q := Scaled(p, 16)
+	if !q.NextLinePrefetch {
+		t.Error("Scaled dropped NextLinePrefetch")
+	}
+	if q.TLB.Entries != p.TLB.Entries {
+		t.Error("Scaled dropped TLB config")
+	}
+}
+
+func TestCoreThreadsShareCaches(t *testing.T) {
+	p := Platform{
+		Name:        "smt",
+		Private:     []LevelConfig{{Name: "L1", SizeBytes: 1 << 10, Ways: 2}},
+		CoreThreads: 2,
+	}
+	sys := NewSystem(p, 4)        // 2 cores × 2 threads
+	sys.Front(0).Access(0, false) // thread 0 fills core 0's L1
+	sys.Front(1).Access(0, false) // sibling thread: must hit
+	sys.Front(2).Access(0, false) // other core: must miss
+	r := sys.Report()
+	if len(r.PerCore) != 2 {
+		t.Fatalf("%d cores, want 2", len(r.PerCore))
+	}
+	c0 := r.PerCore[0][0]
+	if c0.Accesses != 2 || c0.Hits != 1 || c0.Misses != 1 {
+		t.Errorf("core 0 counters %+v", c0)
+	}
+	c1 := r.PerCore[1][0]
+	if c1.Misses != 1 {
+		t.Errorf("core 1 counters %+v", c1)
+	}
+}
+
+// More threads per core dilute each thread's cache share: with disjoint
+// working sets per thread, doubling the threads on a core increases
+// misses (the paper's §IV-D observation on the MIC).
+func TestCoreSharingDilutesLocality(t *testing.T) {
+	run := func(coreThreads int) uint64 {
+		p := Platform{
+			Name:        "dilute",
+			Private:     []LevelConfig{{Name: "L1", SizeBytes: 4 << 10, Ways: 4}},
+			CoreThreads: coreThreads,
+		}
+		const threads = 4
+		sys := NewSystem(p, threads)
+		// Each thread repeatedly walks its own 3KB region.
+		for pass := 0; pass < 4; pass++ {
+			for tid := 0; tid < threads; tid++ {
+				base := uint64(tid) * (1 << 20)
+				f := sys.Front(tid)
+				for a := uint64(0); a < 3<<10; a += 64 {
+					f.Access(base+a, false)
+				}
+			}
+		}
+		var misses uint64
+		rep := sys.Report()
+		for _, core := range rep.PerCore {
+			misses += core[0].Misses
+		}
+		return misses
+	}
+	private := run(1) // 4 cores: each 3KB set fits its own 4KB L1
+	shared := run(4)  // 1 core: 12KB of working set thrash a 4KB L1
+	if shared <= private {
+		t.Errorf("sharing did not increase misses: %d vs %d", shared, private)
+	}
+}
+
+func TestMICPresetUsesFourThreadsPerCore(t *testing.T) {
+	if MIC().CoreThreads != 4 {
+		t.Errorf("MIC CoreThreads = %d", MIC().CoreThreads)
+	}
+	if Scaled(MIC(), 8).CoreThreads != 4 {
+		t.Error("Scaled dropped CoreThreads")
+	}
+	if IvyBridge().CoreThreads != 0 {
+		t.Errorf("IvyBridge CoreThreads = %d (want per-thread caches)", IvyBridge().CoreThreads)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	p := IvyBridge()
+	p.NextLinePrefetch = true
+	sys := NewSystem(Scaled(p, 64), 2)
+	for a := uint64(0); a < 1<<18; a += 64 {
+		sys.Front(0).Access(a, a%128 == 0)
+	}
+	out := sys.Report().String()
+	for _, want := range []string{"L1", "L2", "LLC", "TLB", "prefetches issued", "mem reads", "PAPI_L3_TCA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func policyPlatform(p Policy) Platform {
+	return Platform{
+		Name:    "pol",
+		Private: []LevelConfig{{Name: "L1", SizeBytes: 1 << 10, Ways: 2, Policy: p}},
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	// Set 0 lines: 0, 8, 16 (8 sets). Under FIFO, re-touching line 0
+	// does not save it: insertion order evicts it first.
+	sys := NewSystem(policyPlatform(FIFO), 1)
+	f := sys.Front(0)
+	line := func(n uint64) uint64 { return n * LineBytes }
+	f.Access(line(0), false)  // insert 0
+	f.Access(line(8), false)  // insert 8
+	f.Access(line(0), false)  // hit; FIFO does not refresh
+	f.Access(line(16), false) // evicts 0 (oldest insertion)
+	f.Access(line(0), false)  // must miss under FIFO
+	r := sys.Report()
+	if r.PrivateTotal[0].Misses != 4 {
+		t.Errorf("FIFO misses %d, want 4", r.PrivateTotal[0].Misses)
+	}
+	// Same sequence under LRU keeps line 0 (refreshed by the hit).
+	sys2 := NewSystem(policyPlatform(LRU), 1)
+	g := sys2.Front(0)
+	g.Access(line(0), false)
+	g.Access(line(8), false)
+	g.Access(line(0), false)
+	g.Access(line(16), false) // evicts 8 under LRU
+	g.Access(line(0), false)  // hit
+	if m := sys2.Report().PrivateTotal[0].Misses; m != 3 {
+		t.Errorf("LRU misses %d, want 3", m)
+	}
+}
+
+func TestRandomPolicyDeterministic(t *testing.T) {
+	run := func() uint64 {
+		sys := NewSystem(policyPlatform(RandomPolicy), 1)
+		f := sys.Front(0)
+		for i := uint64(0); i < 5000; i++ {
+			f.Access((i*37)%512*LineBytes, false)
+		}
+		return sys.Report().PrivateTotal[0].Misses
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("random policy not reproducible: %d vs %d", a, b)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || RandomPolicy.String() != "random" {
+		t.Error("policy names wrong")
+	}
+}

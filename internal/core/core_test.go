@@ -1,0 +1,333 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allLayouts builds one instance of every layout kind for the given grid.
+func allLayouts(t *testing.T, nx, ny, nz int) []Layout {
+	t.Helper()
+	var ls []Layout
+	for _, k := range Kinds() {
+		ls = append(ls, New(k, nx, ny, nz))
+	}
+	return ls
+}
+
+func TestLayoutInjectiveAndInBounds(t *testing.T) {
+	grids := [][3]int{{8, 8, 8}, {16, 16, 16}, {5, 7, 9}, {1, 1, 1}, {32, 4, 2}}
+	for _, g := range grids {
+		for _, l := range allLayouts(t, g[0], g[1], g[2]) {
+			seen := make(map[int]bool, g[0]*g[1]*g[2])
+			for k := 0; k < g[2]; k++ {
+				for j := 0; j < g[1]; j++ {
+					for i := 0; i < g[0]; i++ {
+						idx := l.Index(i, j, k)
+						if idx < 0 || idx >= l.Len() {
+							t.Fatalf("%s %v: Index(%d,%d,%d)=%d out of [0,%d)",
+								l.Name(), g, i, j, k, idx, l.Len())
+						}
+						if seen[idx] {
+							t.Fatalf("%s %v: Index(%d,%d,%d)=%d not injective",
+								l.Name(), g, i, j, k, idx)
+						}
+						seen[idx] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLayoutDims(t *testing.T) {
+	for _, l := range allLayouts(t, 5, 6, 7) {
+		nx, ny, nz := l.Dims()
+		if nx != 5 || ny != 6 || nz != 7 {
+			t.Errorf("%s: Dims = %d,%d,%d, want 5,6,7", l.Name(), nx, ny, nz)
+		}
+	}
+}
+
+func TestArrayOrderFormula(t *testing.T) {
+	a := NewArrayOrder(10, 20, 30)
+	f := func(i, j, k uint16) bool {
+		ii, jj, kk := int(i)%10, int(j)%20, int(k)%30
+		return a.Index(ii, jj, kk) == ii+jj*10+kk*10*20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if a.Len() != 10*20*30 {
+		t.Errorf("Len=%d", a.Len())
+	}
+}
+
+func TestZOrderMatchesInterleaving(t *testing.T) {
+	z := NewZOrder(16, 16, 16)
+	// Spot-check the bit interleaving property: x gets bits 0,3,6...
+	if z.Index(1, 0, 0) != 1 || z.Index(0, 1, 0) != 2 || z.Index(0, 0, 1) != 4 {
+		t.Fatalf("unit vectors map to %d,%d,%d; want 1,2,4",
+			z.Index(1, 0, 0), z.Index(0, 1, 0), z.Index(0, 0, 1))
+	}
+	if z.Index(15, 15, 15) != 16*16*16-1 {
+		t.Errorf("corner index %d, want %d", z.Index(15, 15, 15), 16*16*16-1)
+	}
+	if z.Len() != 4096 {
+		t.Errorf("Len=%d, want dense 4096", z.Len())
+	}
+	if z.Overhead() != 0 {
+		t.Errorf("Overhead=%v, want 0 for cubic pow2", z.Overhead())
+	}
+}
+
+func TestZOrderPaddingOverhead(t *testing.T) {
+	z := NewZOrder(17, 17, 17) // pads toward 32³ index space
+	if z.Overhead() <= 0 {
+		t.Errorf("non-pow2 grid should report positive overhead, got %v", z.Overhead())
+	}
+	if z.Len() <= 17*17*17 {
+		t.Errorf("padded Len=%d should exceed dense %d", z.Len(), 17*17*17)
+	}
+}
+
+func TestTiledLayoutStructure(t *testing.T) {
+	tl := NewTiled(16, 16, 16, 4)
+	// First tile is the 4×4×4 corner brick, row-major inside.
+	if tl.Index(0, 0, 0) != 0 {
+		t.Errorf("origin index %d", tl.Index(0, 0, 0))
+	}
+	if tl.Index(1, 0, 0) != 1 {
+		t.Errorf("x-step inside tile: %d, want 1", tl.Index(1, 0, 0))
+	}
+	if tl.Index(0, 1, 0) != 4 {
+		t.Errorf("y-step inside tile: %d, want 4", tl.Index(0, 1, 0))
+	}
+	if tl.Index(0, 0, 1) != 16 {
+		t.Errorf("z-step inside tile: %d, want 16", tl.Index(0, 0, 1))
+	}
+	// Element (4,0,0) begins the next brick: offset 64.
+	if tl.Index(4, 0, 0) != 64 {
+		t.Errorf("next brick: %d, want 64", tl.Index(4, 0, 0))
+	}
+	if tl.Len() != 16*16*16 {
+		t.Errorf("Len=%d", tl.Len())
+	}
+	if tl.Tile() != 4 {
+		t.Errorf("Tile=%d", tl.Tile())
+	}
+}
+
+func TestTiledPadsPartialTiles(t *testing.T) {
+	tl := NewTiled(10, 10, 10, 4) // 3 tiles per axis → 12³ buffer
+	if tl.Len() != 12*12*12 {
+		t.Errorf("Len=%d, want %d", tl.Len(), 12*12*12)
+	}
+}
+
+func TestHilbertLayoutPadsToCube(t *testing.T) {
+	h := NewHilbert(5, 9, 3)
+	if h.Len() != 16*16*16 {
+		t.Errorf("Len=%d, want 4096", h.Len())
+	}
+}
+
+func TestHilbertSingleCell(t *testing.T) {
+	h := NewHilbert(1, 1, 1)
+	if got := h.Index(0, 0, 0); got != 0 {
+		t.Errorf("Index(0,0,0)=%d", got)
+	}
+	if h.Len() < 1 {
+		t.Errorf("Len=%d", h.Len())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	good := map[string]Kind{
+		"array": ArrayKind, "a": ArrayKind, "ROW-MAJOR": ArrayKind,
+		"zorder": ZKind, "z": ZKind, "morton": ZKind, " Z-Order ": ZKind,
+		"tiled": TiledKind, "blocked": TiledKind,
+		"hilbert": HilbertKind, "h": HilbertKind,
+	}
+	for s, want := range good {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", int(k))
+		}
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("round-trip of %v failed: %v, %v", k, back, err)
+		}
+	}
+}
+
+func TestNamesMatchRegistry(t *testing.T) {
+	for _, k := range Kinds() {
+		l := New(k, 4, 4, 4)
+		if l.Name() != k.String() {
+			t.Errorf("layout Name %q != kind %q", l.Name(), k.String())
+		}
+	}
+}
+
+func TestCheckDimsPanics(t *testing.T) {
+	for _, k := range Kinds() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, 0,1,1) did not panic", k)
+				}
+			}()
+			New(k, 0, 1, 1)
+		}()
+	}
+}
+
+func TestAxisStrideArrayOrder(t *testing.T) {
+	a := NewArrayOrder(32, 32, 32)
+	x := AxisStride(a, 0)
+	y := AxisStride(a, 1)
+	z := AxisStride(a, 2)
+	if x.Mean != 1 {
+		t.Errorf("x stride mean %v, want 1", x.Mean)
+	}
+	if y.Mean != 32 {
+		t.Errorf("y stride mean %v, want 32", y.Mean)
+	}
+	if z.Mean != 1024 {
+		t.Errorf("z stride mean %v, want 1024", z.Mean)
+	}
+	if !(x.Within > y.Within && y.Within >= z.Within) {
+		t.Errorf("line-sharing should degrade x→y→z: %v %v %v", x.Within, y.Within, z.Within)
+	}
+}
+
+// The paper's core claim in table form: under Z order the three axes are
+// symmetric, and the worst axis is far better than array order's worst.
+func TestAxisStrideZOrderBalanced(t *testing.T) {
+	zl := NewZOrder(32, 32, 32)
+	al := NewArrayOrder(32, 32, 32)
+	zWorst, aWorst := 0.0, 0.0
+	for axis := 0; axis < 3; axis++ {
+		if m := AxisStride(zl, axis).Mean; m > zWorst {
+			zWorst = m
+		}
+		if m := AxisStride(al, axis).Mean; m > aWorst {
+			aWorst = m
+		}
+	}
+	if zWorst >= aWorst {
+		t.Errorf("Z-order worst-axis stride %v should beat array order's %v", zWorst, aWorst)
+	}
+}
+
+func TestRayStrideMisalignment(t *testing.T) {
+	al := NewArrayOrder(64, 64, 64)
+	zl := NewZOrder(64, 64, 64)
+	// Aligned ray (along x) vs against-the-grain ray (along z).
+	aAligned := RayStride(al, 1, 0.01, 0.01)
+	aAcross := RayStride(al, 0.01, 0.01, 1)
+	if aAcross.Mean <= aAligned.Mean {
+		t.Fatalf("array order should degrade across the grain: %v vs %v", aAcross.Mean, aAligned.Mean)
+	}
+	zAligned := RayStride(zl, 1, 0.01, 0.01)
+	zAcross := RayStride(zl, 0.01, 0.01, 1)
+	ratioA := aAcross.Mean / aAligned.Mean
+	ratioZ := zAcross.Mean / zAligned.Mean
+	if ratioZ >= ratioA {
+		t.Errorf("Z order viewpoint sensitivity %v should be below array order's %v", ratioZ, ratioA)
+	}
+}
+
+func TestRayStridePanicsOnZeroDir(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RayStride with zero direction did not panic")
+		}
+	}()
+	RayStride(NewArrayOrder(8, 8, 8), 0, 0, 0)
+}
+
+func TestAxisStridePanicsOnBadAxis(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AxisStride with axis 3 did not panic")
+		}
+	}()
+	AxisStride(NewArrayOrder(8, 8, 8), 3)
+}
+
+func BenchmarkIndexArray(b *testing.B) {
+	l := NewArrayOrder(512, 512, 512)
+	benchIndex(b, l)
+}
+
+func BenchmarkIndexZOrder(b *testing.B) {
+	l := NewZOrder(512, 512, 512)
+	benchIndex(b, l)
+}
+
+func BenchmarkIndexTiled(b *testing.B) {
+	l := NewTiled(512, 512, 512, DefaultTile)
+	benchIndex(b, l)
+}
+
+func BenchmarkIndexHilbert(b *testing.B) {
+	l := NewHilbert(512, 512, 512)
+	benchIndex(b, l)
+}
+
+func benchIndex(b *testing.B, l Layout) {
+	b.Helper()
+	var sink int
+	for n := 0; n < b.N; n++ {
+		sink += l.Index(n&511, n>>9&511, n>>18&63)
+	}
+	benchSink = sink
+}
+
+var benchSink int
+
+// Coords must invert Index exactly over the whole grid, and padding
+// offsets must report ok == false.
+func TestCoordsInvertsIndex(t *testing.T) {
+	grids := [][3]int{{8, 8, 8}, {5, 7, 9}, {16, 4, 2}, {1, 1, 1}}
+	for _, g := range grids {
+		for _, kind := range Kinds() {
+			l := New(kind, g[0], g[1], g[2]).(Inverse)
+			// Forward then inverse.
+			valid := make(map[int]bool)
+			for k := 0; k < g[2]; k++ {
+				for j := 0; j < g[1]; j++ {
+					for i := 0; i < g[0]; i++ {
+						idx := l.Index(i, j, k)
+						valid[idx] = true
+						ii, jj, kk, ok := l.Coords(idx)
+						if !ok || ii != i || jj != j || kk != k {
+							t.Fatalf("%s %v: Coords(Index(%d,%d,%d)) = (%d,%d,%d,%v)",
+								l.Name(), g, i, j, k, ii, jj, kk, ok)
+						}
+					}
+				}
+			}
+			// Padding offsets must report ok == false.
+			for idx := 0; idx < l.Len(); idx++ {
+				_, _, _, ok := l.Coords(idx)
+				if ok != valid[idx] {
+					t.Fatalf("%s %v: Coords(%d) ok=%v, want %v", l.Name(), g, idx, ok, valid[idx])
+				}
+			}
+		}
+	}
+}

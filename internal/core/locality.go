@@ -1,0 +1,144 @@
+package core
+
+import "math"
+
+// StrideStats summarizes the physical-memory distance (in elements)
+// between consecutive accesses for a given access direction. It
+// quantifies the paper's Fig. 1 intuition: under array order, rays (or
+// loops) aligned with the fastest-varying axis touch adjacent memory,
+// while against-the-grain directions jump by nx or nx*ny elements; under
+// Z order no direction is catastrophically misaligned.
+type StrideStats struct {
+	Mean   float64 // mean |Δoffset| per unit step
+	Max    int     // largest single jump observed
+	Within float64 // fraction of steps staying within one 64-byte line (float32 elems)
+	Steps  int     // number of steps measured
+}
+
+// elemsPerLine is how many float32 elements share a 64-byte cache line.
+const elemsPerLine = 16
+
+// AxisStride measures stride statistics for unit steps along the given
+// axis (0=x, 1=y, 2=z) over the whole grid.
+func AxisStride(l Layout, axis int) StrideStats {
+	nx, ny, nz := l.Dims()
+	di, dj, dk := 0, 0, 0
+	switch axis {
+	case 0:
+		di = 1
+	case 1:
+		dj = 1
+	case 2:
+		dk = 1
+	default:
+		panic("core: axis must be 0, 1, or 2")
+	}
+	var s StrideStats
+	var sum float64
+	for k := 0; k+dk < nz; k++ {
+		for j := 0; j+dj < ny; j++ {
+			for i := 0; i+di < nx; i++ {
+				a := l.Index(i, j, k)
+				b := l.Index(i+di, j+dj, k+dk)
+				d := b - a
+				if d < 0 {
+					d = -d
+				}
+				sum += float64(d)
+				if d > s.Max {
+					s.Max = d
+				}
+				if a/elemsPerLine == b/elemsPerLine {
+					s.Within++
+				}
+				s.Steps++
+			}
+		}
+	}
+	if s.Steps > 0 {
+		s.Mean = sum / float64(s.Steps)
+		s.Within /= float64(s.Steps)
+	}
+	return s
+}
+
+// RayStride measures stride statistics along a straight ray of direction
+// (dx,dy,dz) sampled at unit parametric steps from every point of the
+// entry face, mimicking the volume renderer's per-ray access pattern.
+// The direction is normalized internally; rays start at grid corners
+// spread across the x=0 face (for dx-dominant directions this is the
+// favorable case; callers rotate the direction to probe misalignment).
+func RayStride(l Layout, dx, dy, dz float64) StrideStats {
+	nx, ny, nz := l.Dims()
+	n := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if n == 0 {
+		panic("core: ray direction must be nonzero")
+	}
+	dx, dy, dz = dx/n, dy/n, dz/n
+	var s StrideStats
+	var sum float64
+	// March from a lattice of start points spread over a plane
+	// perpendicular to the ray, positioned outside the volume so every
+	// direction (including negative ones) enters and crosses it.
+	const starts = 8
+	cx, cy, cz := float64(nx)/2, float64(ny)/2, float64(nz)/2
+	diag := math.Sqrt(float64(nx*nx + ny*ny + nz*nz))
+	// Orthonormal frame (dx,dy,dz), u, v.
+	ux, uy, uz := -dy, dx, 0.0
+	if dx*dx+dy*dy < 1e-12 {
+		ux, uy, uz = 1, 0, 0
+	}
+	un := math.Sqrt(ux*ux + uy*uy + uz*uz)
+	ux, uy, uz = ux/un, uy/un, uz/un
+	vx := dy*uz - dz*uy
+	vy := dz*ux - dx*uz
+	vz := dx*uy - dy*ux
+	for sj := 0; sj < starts; sj++ {
+		for sk := 0; sk < starts; sk++ {
+			a := (float64(sj)/starts - 0.5) * float64(ny) * 0.8
+			b := (float64(sk)/starts - 0.5) * float64(nz) * 0.8
+			x := cx + a*ux + b*vx - dx*diag
+			y := cy + a*uy + b*vy - dy*diag
+			z := cz + a*uz + b*vz - dz*diag
+			prev := -1
+			for step := 0.0; step < 2*diag; step++ {
+				i := int(math.Floor(x))
+				j := int(math.Floor(y))
+				k := int(math.Floor(z))
+				if i < 0 || i >= nx || j < 0 || j >= ny || k < 0 || k >= nz {
+					x += dx
+					y += dy
+					z += dz
+					if prev >= 0 {
+						break // already crossed and exited the volume
+					}
+					continue
+				}
+				cur := l.Index(i, j, k)
+				if prev >= 0 && cur != prev {
+					d := cur - prev
+					if d < 0 {
+						d = -d
+					}
+					sum += float64(d)
+					if d > s.Max {
+						s.Max = d
+					}
+					if cur/elemsPerLine == prev/elemsPerLine {
+						s.Within++
+					}
+					s.Steps++
+				}
+				prev = cur
+				x += dx
+				y += dy
+				z += dz
+			}
+		}
+	}
+	if s.Steps > 0 {
+		s.Mean = sum / float64(s.Steps)
+		s.Within /= float64(s.Steps)
+	}
+	return s
+}

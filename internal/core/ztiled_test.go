@@ -1,0 +1,176 @@
+package core
+
+import "testing"
+
+func TestZTiledStructure(t *testing.T) {
+	zt := NewZTiled(32, 32, 32, 16)
+	// Inside the first brick, indices are pure Morton codes.
+	if zt.Index(0, 0, 0) != 0 || zt.Index(1, 0, 0) != 1 || zt.Index(0, 1, 0) != 2 || zt.Index(0, 0, 1) != 4 {
+		t.Errorf("intra-brick Morton broken: %d %d %d %d",
+			zt.Index(0, 0, 0), zt.Index(1, 0, 0), zt.Index(0, 1, 0), zt.Index(0, 0, 1))
+	}
+	// (16,0,0) starts the second brick: offset 16³.
+	if got := zt.Index(16, 0, 0); got != 16*16*16 {
+		t.Errorf("second brick base %d, want %d", got, 16*16*16)
+	}
+	if zt.Brick() != 16 {
+		t.Errorf("Brick=%d", zt.Brick())
+	}
+	// Power-of-two cube: no padding at all.
+	if zt.Len() != 32*32*32 {
+		t.Errorf("Len=%d", zt.Len())
+	}
+	if zt.Overhead() != 0 {
+		t.Errorf("Overhead=%v", zt.Overhead())
+	}
+}
+
+func TestZTiledBeatsZOrderPadding(t *testing.T) {
+	// The §V pathology: 513³ under pure Z order pads toward 1024³ index
+	// space; ZTiled pads one partial brick per axis.
+	const n = 65 // stand-in for 513 at test scale: 2^6+1
+	z := NewZOrder(n, n, n)
+	zt := NewZTiled(n, n, n, 16)
+	if zt.Overhead() >= z.Overhead() {
+		t.Errorf("ztiled overhead %.3f not below zorder %.3f", zt.Overhead(), z.Overhead())
+	}
+	// 65³ pads to 80³: (80/65)³-1 ≈ 0.864. At the paper's 513³ scale the
+	// same construction costs only ~9% (528³/513³ - 1).
+	if d := zt.Overhead() - 0.864; d < -0.01 || d > 0.01 {
+		t.Errorf("ztiled overhead %.3f, want ≈0.864", zt.Overhead())
+	}
+	big := NewZTiled(513, 513, 513, 16)
+	if big.Overhead() > 0.1 {
+		t.Errorf("513³ ztiled overhead %.3f, want < 0.1", big.Overhead())
+	}
+}
+
+func TestZTiledLocalityNearZOrder(t *testing.T) {
+	// Within-brick Morton indexing must keep the worst-axis stride far
+	// below array order's.
+	const n = 32
+	zt := NewZTiled(n, n, n, 16)
+	a := NewArrayOrder(n, n, n)
+	var ztWorst, aWorst float64
+	for axis := 0; axis < 3; axis++ {
+		if m := AxisStride(zt, axis).Mean; m > ztWorst {
+			ztWorst = m
+		}
+		if m := AxisStride(a, axis).Mean; m > aWorst {
+			aWorst = m
+		}
+	}
+	if ztWorst >= aWorst {
+		t.Errorf("ztiled worst stride %v not below array %v", ztWorst, aWorst)
+	}
+}
+
+func TestZTiledPanicsOnBadBrick(t *testing.T) {
+	for _, bad := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("brick %d accepted", bad)
+				}
+			}()
+			NewZTiled(8, 8, 8, bad)
+		}()
+	}
+}
+
+func TestZTiledParseAndRegistry(t *testing.T) {
+	k, err := ParseKind("ztiled")
+	if err != nil || k != ZTiledKind {
+		t.Fatalf("ParseKind: %v, %v", k, err)
+	}
+	l := New(ZTiledKind, 20, 20, 20)
+	if l.Name() != "ztiled" {
+		t.Errorf("Name=%q", l.Name())
+	}
+}
+
+func BenchmarkIndexZTiled(b *testing.B) {
+	l := NewZTiled(512, 512, 512, DefaultBrick)
+	benchIndex(b, l)
+}
+
+func TestHZOrderBijective(t *testing.T) {
+	h := NewHZOrder(8, 8, 8)
+	seen := make(map[int]bool, 512)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				idx := h.Index(i, j, k)
+				if idx < 0 || idx >= h.Len() {
+					t.Fatalf("Index(%d,%d,%d)=%d out of range", i, j, k, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("duplicate index %d", idx)
+				}
+				seen[idx] = true
+				ii, jj, kk, ok := h.Coords(idx)
+				if !ok || ii != i || jj != j || kk != k {
+					t.Fatalf("Coords(%d) = (%d,%d,%d,%v), want (%d,%d,%d)", idx, ii, jj, kk, ok, i, j, k)
+				}
+			}
+		}
+	}
+	if len(seen) != 512 {
+		t.Fatalf("covered %d of 512", len(seen))
+	}
+}
+
+// The defining HZ property: the level-L lattice fills exactly the first
+// LevelPrefix(L) buffer slots.
+func TestHZOrderLevelPrefixContiguous(t *testing.T) {
+	const n = 16
+	h := NewHZOrder(n, n, n)
+	for level := 0; level <= 4; level++ {
+		prefix := h.LevelPrefix(level)
+		s := 1 << level
+		if s > n {
+			s = n
+		}
+		lattice := make(map[int]bool)
+		maxIdx := -1
+		for k := 0; k < n; k += s {
+			for j := 0; j < n; j += s {
+				for i := 0; i < n; i += s {
+					idx := h.Index(i, j, k)
+					lattice[idx] = true
+					if idx > maxIdx {
+						maxIdx = idx
+					}
+				}
+			}
+		}
+		if level <= 4 && maxIdx >= prefix {
+			t.Errorf("level %d: lattice max index %d outside prefix %d", level, maxIdx, prefix)
+		}
+		// And the prefix holds nothing but the lattice (for levels within
+		// range): prefix size equals lattice size.
+		if 1<<level <= n && len(lattice) != prefix {
+			t.Errorf("level %d: lattice size %d != prefix %d", level, len(lattice), prefix)
+		}
+	}
+}
+
+func TestHZOrderOrigin(t *testing.T) {
+	h := NewHZOrder(8, 8, 8)
+	if h.Index(0, 0, 0) != 0 {
+		t.Errorf("origin index %d", h.Index(0, 0, 0))
+	}
+	i, j, k, ok := h.Coords(0)
+	if !ok || i != 0 || j != 0 || k != 0 {
+		t.Errorf("Coords(0) = %d,%d,%d,%v", i, j, k, ok)
+	}
+}
+
+func TestHZOrderLevelPrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative level accepted")
+		}
+	}()
+	NewHZOrder(8, 8, 8).LevelPrefix(-1)
+}

@@ -1,0 +1,391 @@
+// Package filter implements the paper's structured-memory-access kernel:
+// a shared-memory-parallel 3D bilateral filter (§III-A).
+//
+// The bilateral filter (Tomasi & Manduchi 1998) is an edge-preserving
+// smoother: each output voxel is a normalized weighted average of its
+// stencil neighborhood, where the weight is the product of a geometric
+// Gaussian g (distance in index space) and a photometric Gaussian c
+// (distance in value space). The photometric term depends on the data,
+// so unlike plain convolution the normalization cannot be precomputed —
+// this is what makes the kernel "computationally intensive" while still
+// being memory-bound.
+//
+// Parallelization follows the paper: 1-D pencils of output voxels are
+// handed to workers round-robin (internal/parallel). The experiment
+// knobs are the stencil radius, the pencil axis (px/pz), the stencil
+// iteration order (xyz/zyx — the against-the-grain configuration), and
+// the worker count.
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
+)
+
+// Order is the stencil iteration order (§IV-B3): XYZ iterates the
+// stencil's innermost loop over x (the most quickly varying direction in
+// the array-order sense, its best case); ZYX iterates z innermost (the
+// least favorable for array order).
+type Order int
+
+// Stencil iteration orders.
+const (
+	XYZ Order = iota
+	ZYX
+)
+
+// String returns "xyz" or "zyx".
+func (o Order) String() string {
+	if o == ZYX {
+		return "zyx"
+	}
+	return "xyz"
+}
+
+// ParseOrder maps "xyz"/"zyx" to an Order.
+func ParseOrder(s string) (Order, error) {
+	switch s {
+	case "xyz", "XYZ":
+		return XYZ, nil
+	case "zyx", "ZYX":
+		return ZYX, nil
+	}
+	return 0, fmt.Errorf("filter: unknown order %q", s)
+}
+
+// Options configures one bilateral-filter run.
+type Options struct {
+	// Radius is the stencil radius; the stencil is (2R+1)³. The paper's
+	// configurations are radius 1 (3³, "r1"), radius 2 (5³, "r3") and
+	// radius 5 (11³, "r5").
+	Radius int
+	// SigmaSpatial is the geometric Gaussian's standard deviation in
+	// voxels. Zero defaults to Radius/2 + 0.5.
+	SigmaSpatial float64
+	// SigmaRange is the photometric Gaussian's standard deviation in
+	// value units. Zero defaults to 0.1 (data in [0,1]).
+	SigmaRange float64
+	// Axis is the pencil direction handed to workers: AxisX is the
+	// paper's "px" (width rows), AxisZ its "pz" (depth rows).
+	Axis parallel.Axis
+	// Order is the stencil iteration order.
+	Order Order
+	// Workers is the number of concurrent workers; zero defaults to 1.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SigmaSpatial == 0 {
+		o.SigmaSpatial = float64(o.Radius)/2 + 0.5
+	}
+	if o.SigmaRange == 0 {
+		o.SigmaRange = 0.1
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Radius < 1 {
+		return fmt.Errorf("filter: radius %d must be >= 1", o.Radius)
+	}
+	if o.SigmaSpatial < 0 || o.SigmaRange < 0 {
+		return fmt.Errorf("filter: sigmas must be non-negative")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("filter: workers %d must be >= 0", o.Workers)
+	}
+	return nil
+}
+
+// rangeLUTSize is the resolution of the photometric-weight lookup table.
+// Computing exp() per neighbor sample would dominate the runtime and
+// drown the memory-locality signal the experiments measure, so the
+// photometric Gaussian is quantized; with 4096 bins over [0, 4σ] the
+// worst-case weight error is ~1e-3.
+const rangeLUTSize = 4096
+
+// rangeLUTSpan is how many standard deviations the LUT covers; beyond
+// it the weight is treated as zero (exp(-8) ≈ 3e-4).
+const rangeLUTSpan = 4.0
+
+// kernel holds the precomputed tables for one filter configuration.
+type kernel struct {
+	opt      Options
+	spatial  []float64 // (2R+1)³ geometric weights, indexed [dz][dy][dx]
+	rangeLUT []float64
+	invBin   float64 // 1 / LUT bin width
+}
+
+func newKernel(o Options) *kernel {
+	k := &kernel{opt: o}
+	r := o.Radius
+	side := 2*r + 1
+	k.spatial = make([]float64, side*side*side)
+	inv2s2 := 1 / (2 * o.SigmaSpatial * o.SigmaSpatial)
+	idx := 0
+	for dz := -r; dz <= r; dz++ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				d2 := float64(dx*dx + dy*dy + dz*dz)
+				k.spatial[idx] = math.Exp(-d2 * inv2s2)
+				idx++
+			}
+		}
+	}
+	k.rangeLUT = make([]float64, rangeLUTSize)
+	span := rangeLUTSpan * o.SigmaRange
+	for i := range k.rangeLUT {
+		x := (float64(i) + 0.5) / rangeLUTSize * span
+		k.rangeLUT[i] = math.Exp(-x * x / (2 * o.SigmaRange * o.SigmaRange))
+	}
+	k.invBin = rangeLUTSize / span
+	return k
+}
+
+// rangeWeight returns the quantized photometric weight for a value
+// difference dv.
+func (k *kernel) rangeWeight(dv float64) float64 {
+	if dv < 0 {
+		dv = -dv
+	}
+	bin := int(dv * k.invBin)
+	if bin >= rangeLUTSize {
+		return 0
+	}
+	return k.rangeLUT[bin]
+}
+
+// voxel computes the filtered value at (i,j,k), iterating the stencil in
+// the configured order and skipping out-of-bounds neighbors (the
+// normalization runs over valid neighbors only).
+func (k *kernel) voxel(src grid.Reader, i, j, kk int) float32 {
+	nx, ny, nz := src.Dims()
+	r := k.opt.Radius
+	side := 2*r + 1
+	center := float64(src.At(i, j, kk))
+	var num, den float64
+	if k.opt.Order == XYZ {
+		for dz := -r; dz <= r; dz++ {
+			z := kk + dz
+			if z < 0 || z >= nz {
+				continue
+			}
+			for dy := -r; dy <= r; dy++ {
+				y := j + dy
+				if y < 0 || y >= ny {
+					continue
+				}
+				base := ((dz+r)*side + (dy + r)) * side
+				for dx := -r; dx <= r; dx++ {
+					x := i + dx
+					if x < 0 || x >= nx {
+						continue
+					}
+					v := float64(src.At(x, y, z))
+					w := k.spatial[base+dx+r] * k.rangeWeight(v-center)
+					num += w * v
+					den += w
+				}
+			}
+		}
+	} else {
+		for dx := -r; dx <= r; dx++ {
+			x := i + dx
+			if x < 0 || x >= nx {
+				continue
+			}
+			for dy := -r; dy <= r; dy++ {
+				y := j + dy
+				if y < 0 || y >= ny {
+					continue
+				}
+				for dz := -r; dz <= r; dz++ {
+					z := kk + dz
+					if z < 0 || z >= nz {
+						continue
+					}
+					v := float64(src.At(x, y, z))
+					w := k.spatial[((dz+r)*side+(dy+r))*side+dx+r] * k.rangeWeight(v-center)
+					num += w * v
+					den += w
+				}
+			}
+		}
+	}
+	if den == 0 {
+		return float32(center)
+	}
+	return float32(num / den)
+}
+
+// Apply runs the bilateral filter from src into dst with all workers
+// sharing the same views. src and dst must have identical dimensions
+// and must not alias (the filter is not in-place).
+func Apply(src grid.Reader, dst grid.Writer, o Options) error {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return err
+	}
+	srcs := make([]grid.Reader, o.Workers)
+	dsts := make([]grid.Writer, o.Workers)
+	for w := range srcs {
+		srcs[w], dsts[w] = src, dst
+	}
+	return ApplyViews(srcs, dsts, o)
+}
+
+// ApplyViews runs the bilateral filter with per-worker source and
+// destination views: worker w accesses the volumes only through srcs[w]
+// and dsts[w]. This is how the cache-simulation experiments attach one
+// traced view per simulated thread. len(srcs) and len(dsts) must equal
+// Workers (after defaulting); all views must agree on dimensions.
+func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return err
+	}
+	if len(srcs) != o.Workers || len(dsts) != o.Workers {
+		return fmt.Errorf("filter: need %d views, got %d src / %d dst", o.Workers, len(srcs), len(dsts))
+	}
+	nx, ny, nz := srcs[0].Dims()
+	for w := 0; w < o.Workers; w++ {
+		sx, sy, sz := srcs[w].Dims()
+		dx, dy, dz := dsts[w].Dims()
+		if sx != nx || sy != ny || sz != nz || dx != nx || dy != ny || dz != nz {
+			return fmt.Errorf("filter: view %d dimensions disagree", w)
+		}
+		if backingGrid(srcs[w]) != nil && backingGrid(srcs[w]) == backingGrid(dsts[w]) {
+			return fmt.Errorf("filter: view %d source and destination alias the same grid (the filter is not in-place)", w)
+		}
+	}
+	k := newKernel(o)
+	pencils := parallel.PencilCount(nx, ny, nz, o.Axis)
+	di, dj, dk := parallel.PencilStep(o.Axis)
+	parallel.RoundRobin(pencils, o.Workers, func(w, p int) {
+		src, dst := srcs[w], dsts[w]
+		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
+		for s := 0; s < length; s++ {
+			dst.Set(i, j, kk, k.voxel(src, i, j, kk))
+			i, j, kk = i+di, j+dj, kk+dk
+		}
+	})
+	return nil
+}
+
+// backingGrid unwraps a view to the *grid.Grid it reads or writes, or
+// nil if the view is not grid-backed (aliasing then cannot be checked).
+func backingGrid(v any) *grid.Grid {
+	switch g := v.(type) {
+	case *grid.Grid:
+		return g
+	case *grid.Traced:
+		return g.Grid()
+	}
+	return nil
+}
+
+// Reference computes the bilateral filter the slow, obviously-correct
+// way: single-threaded, exact math.Exp photometric weights (no LUT).
+// Tests compare Apply against it within the LUT quantization tolerance.
+func Reference(src grid.Reader, dst grid.Writer, o Options) error {
+	o = o.withDefaults()
+	o.Workers = 1
+	if err := o.validate(); err != nil {
+		return err
+	}
+	nx, ny, nz := src.Dims()
+	r := o.Radius
+	inv2ss := 1 / (2 * o.SigmaSpatial * o.SigmaSpatial)
+	inv2sr := 1 / (2 * o.SigmaRange * o.SigmaRange)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				center := float64(src.At(i, j, k))
+				var num, den float64
+				for dz := -r; dz <= r; dz++ {
+					for dy := -r; dy <= r; dy++ {
+						for dx := -r; dx <= r; dx++ {
+							x, y, z := i+dx, j+dy, k+dz
+							if x < 0 || x >= nx || y < 0 || y >= ny || z < 0 || z >= nz {
+								continue
+							}
+							v := float64(src.At(x, y, z))
+							d2 := float64(dx*dx + dy*dy + dz*dz)
+							dv := v - center
+							if math.Abs(dv) >= rangeLUTSpan*o.SigmaRange {
+								continue // match the LUT's zero tail
+							}
+							w := math.Exp(-d2*inv2ss) * math.Exp(-dv*dv*inv2sr)
+							num += w * v
+							den += w
+						}
+					}
+				}
+				if den == 0 {
+					dst.Set(i, j, k, float32(center))
+				} else {
+					dst.Set(i, j, k, float32(num/den))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GaussianConvolve is the plain (non-bilateral) Gaussian smoothing
+// baseline: identical stencil and spatial weights but no photometric
+// term, so edges blur. It exists to demonstrate what the bilateral
+// filter's edge preservation buys (Howison & Bethel 2014 comparison)
+// and as a second structured-access workload for the benches.
+func GaussianConvolve(src grid.Reader, dst grid.Writer, o Options) error {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return err
+	}
+	if backingGrid(src) != nil && backingGrid(src) == backingGrid(dst) {
+		return fmt.Errorf("filter: source and destination alias the same grid")
+	}
+	nx, ny, nz := src.Dims()
+	k := newKernel(o)
+	r := o.Radius
+	side := 2*r + 1
+	pencils := parallel.PencilCount(nx, ny, nz, o.Axis)
+	di, dj, dk := parallel.PencilStep(o.Axis)
+	parallel.RoundRobin(pencils, o.Workers, func(_, p int) {
+		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
+		for s := 0; s < length; s++ {
+			var num, den float64
+			for dz := -r; dz <= r; dz++ {
+				z := kk + dz
+				if z < 0 || z >= nz {
+					continue
+				}
+				for dy := -r; dy <= r; dy++ {
+					y := j + dy
+					if y < 0 || y >= ny {
+						continue
+					}
+					base := ((dz+r)*side + (dy + r)) * side
+					for dx := -r; dx <= r; dx++ {
+						x := i + dx
+						if x < 0 || x >= nx {
+							continue
+						}
+						w := k.spatial[base+dx+r]
+						num += w * float64(src.At(x, y, z))
+						den += w
+					}
+				}
+			}
+			dst.Set(i, j, kk, float32(num/den))
+			i, j, kk = i+di, j+dj, kk+dk
+		}
+	})
+	return nil
+}

@@ -1,0 +1,271 @@
+// Package grid provides a 3D structured volume of float32 samples stored
+// behind a core.Layout, so the same application code can run over
+// array-order, Z-order, tiled, or Hilbert memory layouts transparently —
+// the paper's getIndex(i,j,k) accessor made concrete.
+//
+// The kernels in internal/filter and internal/render access volumes only
+// through the Reader/Writer interfaces, which both *Grid and the traced
+// wrappers in this package satisfy; swapping a traced view in is how the
+// cache-simulation experiments observe every memory access.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"sfcmem/internal/core"
+)
+
+// Reader is read-only access to a 3D volume.
+type Reader interface {
+	// At returns the sample at (i,j,k). Indices must be in range.
+	At(i, j, k int) float32
+	// Dims returns the volume extents.
+	Dims() (nx, ny, nz int)
+}
+
+// Writer is write access to a 3D volume.
+type Writer interface {
+	// Set stores v at (i,j,k). Indices must be in range.
+	Set(i, j, k int, v float32)
+	// Dims returns the volume extents.
+	Dims() (nx, ny, nz int)
+}
+
+// Grid is a 3D float32 volume stored in a flat buffer addressed through
+// a core.Layout.
+type Grid struct {
+	layout core.Layout
+	data   []float32
+}
+
+var (
+	_ Reader = (*Grid)(nil)
+	_ Writer = (*Grid)(nil)
+)
+
+// New allocates a zero-filled grid under the given layout.
+func New(l core.Layout) *Grid {
+	return &Grid{layout: l, data: make([]float32, l.Len())}
+}
+
+// FromFunc allocates a grid and fills element (i,j,k) with f(i,j,k).
+func FromFunc(l core.Layout, f func(i, j, k int) float32) *Grid {
+	g := New(l)
+	nx, ny, nz := l.Dims()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				g.data[l.Index(i, j, k)] = f(i, j, k)
+			}
+		}
+	}
+	return g
+}
+
+// At returns the sample at (i,j,k).
+func (g *Grid) At(i, j, k int) float32 { return g.data[g.layout.Index(i, j, k)] }
+
+// Set stores v at (i,j,k).
+func (g *Grid) Set(i, j, k int, v float32) { g.data[g.layout.Index(i, j, k)] = v }
+
+// Dims returns the volume extents.
+func (g *Grid) Dims() (nx, ny, nz int) { return g.layout.Dims() }
+
+// Layout returns the grid's memory layout.
+func (g *Grid) Layout() core.Layout { return g.layout }
+
+// Data exposes the underlying buffer (including any layout padding).
+// Callers must index it through Layout().Index.
+func (g *Grid) Data() []float32 { return g.data }
+
+// Relayout copies the grid's contents into a new grid under the target
+// layout. The target's dimensions must match.
+func (g *Grid) Relayout(target core.Layout) (*Grid, error) {
+	sx, sy, sz := g.Dims()
+	tx, ty, tz := target.Dims()
+	if sx != tx || sy != ty || sz != tz {
+		return nil, fmt.Errorf("grid: relayout dims %dx%dx%d -> %dx%dx%d mismatch",
+			sx, sy, sz, tx, ty, tz)
+	}
+	out := New(target)
+	for k := 0; k < sz; k++ {
+		for j := 0; j < sy; j++ {
+			for i := 0; i < sx; i++ {
+				out.data[target.Index(i, j, k)] = g.data[g.layout.Index(i, j, k)]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two grids have identical dimensions and samples
+// (layouts may differ).
+func Equal(a, b *Grid) bool {
+	ax, ay, az := a.Dims()
+	bx, by, bz := b.Dims()
+	if ax != bx || ay != by || az != bz {
+		return false
+	}
+	for k := 0; k < az; k++ {
+		for j := 0; j < ay; j++ {
+			for i := 0; i < ax; i++ {
+				if a.At(i, j, k) != b.At(i, j, k) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute per-sample difference between
+// two same-dimensioned grids. It panics on dimension mismatch.
+func MaxAbsDiff(a, b *Grid) float64 {
+	ax, ay, az := a.Dims()
+	bx, by, bz := b.Dims()
+	if ax != bx || ay != by || az != bz {
+		panic("grid: MaxAbsDiff dimension mismatch")
+	}
+	var m float64
+	for k := 0; k < az; k++ {
+		for j := 0; j < ay; j++ {
+			for i := 0; i < ax; i++ {
+				d := math.Abs(float64(a.At(i, j, k)) - float64(b.At(i, j, k)))
+				if d > m {
+					m = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+// MinMax returns the smallest and largest sample in the grid.
+func (g *Grid) MinMax() (lo, hi float32) {
+	nx, ny, nz := g.Dims()
+	lo, hi = float32(math.Inf(1)), float32(math.Inf(-1))
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				v := g.At(i, j, k)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	return lo, hi
+}
+
+// SampleTrilinear returns the trilinearly interpolated value at the
+// continuous position (x,y,z) in index coordinates, clamping to the
+// volume boundary. This is the renderer's per-ray sampling primitive;
+// it reads the 8 surrounding voxels through r.At, so it is traced when
+// r is a traced view.
+func SampleTrilinear(r Reader, x, y, z float64) float32 {
+	nx, ny, nz := r.Dims()
+	x = clamp(x, 0, float64(nx-1))
+	y = clamp(y, 0, float64(ny-1))
+	z = clamp(z, 0, float64(nz-1))
+	i0 := int(x)
+	j0 := int(y)
+	k0 := int(z)
+	i1, j1, k1 := i0+1, j0+1, k0+1
+	if i1 > nx-1 {
+		i1 = nx - 1
+	}
+	if j1 > ny-1 {
+		j1 = ny - 1
+	}
+	if k1 > nz-1 {
+		k1 = nz - 1
+	}
+	fx := float32(x - float64(i0))
+	fy := float32(y - float64(j0))
+	fz := float32(z - float64(k0))
+
+	c000 := r.At(i0, j0, k0)
+	c100 := r.At(i1, j0, k0)
+	c010 := r.At(i0, j1, k0)
+	c110 := r.At(i1, j1, k0)
+	c001 := r.At(i0, j0, k1)
+	c101 := r.At(i1, j0, k1)
+	c011 := r.At(i0, j1, k1)
+	c111 := r.At(i1, j1, k1)
+
+	c00 := c000 + (c100-c000)*fx
+	c10 := c010 + (c110-c010)*fx
+	c01 := c001 + (c101-c001)*fx
+	c11 := c011 + (c111-c011)*fx
+	c0 := c00 + (c10-c00)*fy
+	c1 := c01 + (c11-c01)*fy
+	return c0 + (c1-c0)*fz
+}
+
+// Gradient returns the central-difference gradient at (i,j,k), using
+// one-sided differences at the boundary. Used for renderer shading.
+func Gradient(r Reader, i, j, k int) (gx, gy, gz float32) {
+	nx, ny, nz := r.Dims()
+	sample := func(i, j, k int) float32 {
+		return r.At(clampI(i, 0, nx-1), clampI(j, 0, ny-1), clampI(k, 0, nz-1))
+	}
+	gx = (sample(i+1, j, k) - sample(i-1, j, k)) * 0.5
+	gy = (sample(i, j+1, k) - sample(i, j-1, k)) * 0.5
+	gz = (sample(i, j, k+1) - sample(i, j, k-1)) * 0.5
+	return gx, gy, gz
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ForEachIndex calls fn for every element in index order (i fastest,
+// then j, then k) with its value — the traversal application loops use.
+func (g *Grid) ForEachIndex(fn func(i, j, k int, v float32)) {
+	nx, ny, nz := g.Dims()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				fn(i, j, k, g.data[g.layout.Index(i, j, k)])
+			}
+		}
+	}
+}
+
+// ForEachStorage calls fn for every element in storage order — ascending
+// buffer offsets, the order with perfect spatial locality. For
+// space-filling layouts this is the cache-friendly sweep of Bader 2013.
+// It requires the grid's layout to implement core.Inverse (all built-in
+// layouts do) and returns false otherwise.
+func (g *Grid) ForEachStorage(fn func(i, j, k int, v float32)) bool {
+	inv, ok := g.layout.(core.Inverse)
+	if !ok {
+		return false
+	}
+	for idx := 0; idx < len(g.data); idx++ {
+		if i, j, k, ok := inv.Coords(idx); ok {
+			fn(i, j, k, g.data[idx])
+		}
+	}
+	return true
+}

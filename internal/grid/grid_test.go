@@ -1,0 +1,326 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sfcmem/internal/core"
+)
+
+func seqGrid(t *testing.T, kind core.Kind, n int) *Grid {
+	if t != nil {
+		t.Helper()
+	}
+	l := core.New(kind, n, n, n)
+	return FromFunc(l, func(i, j, k int) float32 {
+		return float32(i + j*1000 + k*1000000)
+	})
+}
+
+func TestAtSetRoundtripAllLayouts(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		g := New(core.New(kind, 7, 9, 5))
+		g.Set(3, 4, 2, 42.5)
+		if got := g.At(3, 4, 2); got != 42.5 {
+			t.Errorf("%v: At after Set = %v", kind, got)
+		}
+		if got := g.At(0, 0, 0); got != 0 {
+			t.Errorf("%v: untouched cell = %v", kind, got)
+		}
+	}
+}
+
+func TestFromFuncStoresAllCells(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		g := seqGrid(t, kind, 8)
+		for k := 0; k < 8; k++ {
+			for j := 0; j < 8; j++ {
+				for i := 0; i < 8; i++ {
+					want := float32(i + j*1000 + k*1000000)
+					if got := g.At(i, j, k); got != want {
+						t.Fatalf("%v: At(%d,%d,%d) = %v, want %v", kind, i, j, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRelayoutPreservesContents(t *testing.T) {
+	src := seqGrid(t, core.ArrayKind, 16)
+	for _, kind := range core.Kinds() {
+		dst, err := src.Relayout(core.New(kind, 16, 16, 16))
+		if err != nil {
+			t.Fatalf("Relayout to %v: %v", kind, err)
+		}
+		if !Equal(src, dst) {
+			t.Errorf("Relayout to %v changed contents", kind)
+		}
+	}
+}
+
+func TestRelayoutDimMismatch(t *testing.T) {
+	src := New(core.NewArrayOrder(4, 4, 4))
+	if _, err := src.Relayout(core.NewZOrder(8, 4, 4)); err == nil {
+		t.Error("expected dimension-mismatch error")
+	}
+}
+
+func TestEqualDetectsDifference(t *testing.T) {
+	a := seqGrid(t, core.ArrayKind, 4)
+	b := seqGrid(t, core.ZKind, 4)
+	if !Equal(a, b) {
+		t.Fatal("identical contents reported unequal")
+	}
+	b.Set(1, 2, 3, -1)
+	if Equal(a, b) {
+		t.Fatal("difference not detected")
+	}
+	c := New(core.NewArrayOrder(4, 4, 5))
+	if Equal(a, c) {
+		t.Fatal("dimension mismatch not detected")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := seqGrid(t, core.ArrayKind, 4)
+	b, _ := a.Relayout(core.NewZOrder(4, 4, 4))
+	if d := MaxAbsDiff(a, b); d != 0 {
+		t.Errorf("identical grids diff %v", d)
+	}
+	b.Set(0, 0, 0, b.At(0, 0, 0)+3)
+	if d := MaxAbsDiff(a, b); d != 3 {
+		t.Errorf("diff %v, want 3", d)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	g := FromFunc(core.NewZOrder(8, 8, 8), func(i, j, k int) float32 {
+		return float32(i - j + k)
+	})
+	lo, hi := g.MinMax()
+	if lo != -7 || hi != 14 {
+		t.Errorf("MinMax = %v,%v, want -7,14", lo, hi)
+	}
+}
+
+func TestSampleTrilinearAtLatticePoints(t *testing.T) {
+	g := seqGrid(t, core.ZKind, 8)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				got := SampleTrilinear(g, float64(i), float64(j), float64(k))
+				if got != g.At(i, j, k) {
+					t.Fatalf("lattice sample (%d,%d,%d) = %v, want %v", i, j, k, got, g.At(i, j, k))
+				}
+			}
+		}
+	}
+}
+
+func TestSampleTrilinearInterpolatesLinearField(t *testing.T) {
+	// A trilinear interpolant reproduces any linear field exactly.
+	g := FromFunc(core.NewArrayOrder(8, 8, 8), func(i, j, k int) float32 {
+		return float32(2*i + 3*j - k)
+	})
+	f := func(xr, yr, zr float64) bool {
+		x := math.Abs(math.Mod(xr, 7))
+		y := math.Abs(math.Mod(yr, 7))
+		z := math.Abs(math.Mod(zr, 7))
+		got := float64(SampleTrilinear(g, x, y, z))
+		want := 2*x + 3*y - z
+		return math.Abs(got-want) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleTrilinearClamps(t *testing.T) {
+	g := seqGrid(t, core.ArrayKind, 4)
+	if got := SampleTrilinear(g, -5, -5, -5); got != g.At(0, 0, 0) {
+		t.Errorf("low clamp = %v", got)
+	}
+	if got := SampleTrilinear(g, 100, 100, 100); got != g.At(3, 3, 3) {
+		t.Errorf("high clamp = %v", got)
+	}
+}
+
+func TestGradientLinearField(t *testing.T) {
+	g := FromFunc(core.NewZOrder(8, 8, 8), func(i, j, k int) float32 {
+		return float32(2*i + 3*j - 4*k)
+	})
+	gx, gy, gz := Gradient(g, 4, 4, 4)
+	if gx != 2 || gy != 3 || gz != -4 {
+		t.Errorf("interior gradient = %v,%v,%v, want 2,3,-4", gx, gy, gz)
+	}
+	// Boundary gradients use one-sided differences: halved for a linear
+	// field because the clamped neighbor repeats the boundary sample.
+	gx, _, _ = Gradient(g, 0, 4, 4)
+	if gx != 1 {
+		t.Errorf("boundary gx = %v, want 1", gx)
+	}
+}
+
+func TestTracedReportsAddresses(t *testing.T) {
+	l := core.NewArrayOrder(4, 4, 4)
+	g := New(l)
+	var got []uint64
+	var writes int
+	tr := NewTraced(g, 1000, SinkFunc(func(addr uint64, write bool) {
+		got = append(got, addr)
+		if write {
+			writes++
+		}
+	}))
+	tr.Set(1, 0, 0, 5)
+	if v := tr.At(1, 0, 0); v != 5 {
+		t.Fatalf("traced At = %v", v)
+	}
+	want := uint64(1000 + 4*l.Index(1, 0, 0))
+	if len(got) != 2 || got[0] != want || got[1] != want {
+		t.Errorf("addresses = %v, want two of %d", got, want)
+	}
+	if writes != 1 {
+		t.Errorf("writes = %d, want 1", writes)
+	}
+	if tr.Grid() != g {
+		t.Error("Grid() identity lost")
+	}
+	nx, _, _ := tr.Dims()
+	if nx != 4 {
+		t.Errorf("Dims nx = %d", nx)
+	}
+}
+
+func TestTracedAddressesFollowLayout(t *testing.T) {
+	// Under Z order, the traced address of (i,j,k) must be the Morton
+	// offset, not the row-major one.
+	l := core.NewZOrder(8, 8, 8)
+	g := New(l)
+	var last uint64
+	tr := NewTraced(g, 0, SinkFunc(func(addr uint64, _ bool) { last = addr }))
+	tr.At(1, 1, 1) // Morton code 7
+	if last != 7*4 {
+		t.Errorf("address = %d, want 28", last)
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var c CountingSink
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(8, true)
+	if c.Reads != 2 || c.Writes != 1 || c.Total() != 3 {
+		t.Errorf("counts = %d/%d/%d", c.Reads, c.Writes, c.Total())
+	}
+}
+
+func BenchmarkAtArray(b *testing.B)  { benchAt(b, core.ArrayKind) }
+func BenchmarkAtZOrder(b *testing.B) { benchAt(b, core.ZKind) }
+
+func benchAt(b *testing.B, kind core.Kind) {
+	b.Helper()
+	g := New(core.New(kind, 64, 64, 64))
+	var sink float32
+	for n := 0; n < b.N; n++ {
+		sink += g.At(n&63, n>>6&63, n>>12&63)
+	}
+	benchFloat = sink
+}
+
+var benchFloat float32
+
+func TestForEachIndexOrderAndCoverage(t *testing.T) {
+	g := seqGrid(t, core.ZKind, 4)
+	var visited [][3]int
+	g.ForEachIndex(func(i, j, k int, v float32) {
+		if v != g.At(i, j, k) {
+			t.Fatalf("value mismatch at (%d,%d,%d)", i, j, k)
+		}
+		visited = append(visited, [3]int{i, j, k})
+	})
+	if len(visited) != 64 {
+		t.Fatalf("visited %d cells", len(visited))
+	}
+	// Index order: i fastest.
+	if visited[0] != [3]int{0, 0, 0} || visited[1] != [3]int{1, 0, 0} || visited[4] != [3]int{0, 1, 0} {
+		t.Errorf("unexpected order: %v %v %v", visited[0], visited[1], visited[4])
+	}
+}
+
+func TestForEachStorageCoversAllOnceInOffsetOrder(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		g := seqGrid(t, kind, 5) // non-power-of-two: padding present for SFC layouts
+		seen := make(map[[3]int]bool)
+		prev := -1
+		ok := g.ForEachStorage(func(i, j, k int, v float32) {
+			if v != g.At(i, j, k) {
+				t.Fatalf("%v: value mismatch at (%d,%d,%d)", kind, i, j, k)
+			}
+			idx := g.Layout().Index(i, j, k)
+			if idx <= prev {
+				t.Fatalf("%v: storage order not ascending: %d after %d", kind, idx, prev)
+			}
+			prev = idx
+			c := [3]int{i, j, k}
+			if seen[c] {
+				t.Fatalf("%v: cell %v visited twice", kind, c)
+			}
+			seen[c] = true
+		})
+		if !ok {
+			t.Fatalf("%v: layout does not support storage traversal", kind)
+		}
+		if len(seen) != 125 {
+			t.Errorf("%v: visited %d cells, want 125", kind, len(seen))
+		}
+	}
+}
+
+func BenchmarkTraversalIndexOrderZ(b *testing.B) {
+	g := seqGrid(nil, core.ZKind, 64)
+	var sink float32
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		g.ForEachIndex(func(_, _, _ int, v float32) { sink += v })
+	}
+	benchFloat = sink
+}
+
+func BenchmarkTraversalStorageOrderZ(b *testing.B) {
+	g := seqGrid(nil, core.ZKind, 64)
+	var sink float32
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		g.ForEachStorage(func(_, _, _ int, v float32) { sink += v })
+	}
+	benchFloat = sink
+}
+
+// Relayout between random layout pairs at random small dims is always
+// content-preserving (property over the full registry).
+func TestRelayoutRoundtripProperty(t *testing.T) {
+	kinds := core.Kinds()
+	f := func(a, b uint8, dx, dy, dz uint8) bool {
+		ka := kinds[int(a)%len(kinds)]
+		kb := kinds[int(b)%len(kinds)]
+		nx, ny, nz := int(dx)%6+1, int(dy)%6+1, int(dz)%6+1
+		src := FromFunc(core.New(ka, nx, ny, nz), func(i, j, k int) float32 {
+			return float32(i*7 + j*13 + k*29)
+		})
+		mid, err := src.Relayout(core.New(kb, nx, ny, nz))
+		if err != nil {
+			return false
+		}
+		back, err := mid.Relayout(core.New(ka, nx, ny, nz))
+		if err != nil {
+			return false
+		}
+		return Equal(src, mid) && Equal(mid, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sfcmem/internal/cache"
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/volume"
+)
+
+// dstBase offsets the destination volume in the simulated address space
+// so source and destination never alias in the simulated caches.
+const dstBase = 1 << 40
+
+func filterOrder(o Order) filter.Order {
+	if o == OrderZYX {
+		return filter.ZYX
+	}
+	return filter.XYZ
+}
+
+func (r BilatRow) options(threads int) filter.Options {
+	return filter.Options{
+		Radius:  r.Radius,
+		Axis:    r.Axis,
+		Order:   filterOrder(r.Order),
+		Workers: threads,
+	}
+}
+
+// BilatInput holds the phantom in each layout for one experiment, so
+// figure loops do not regenerate datasets per cell.
+type BilatInput struct {
+	Src  map[core.Kind]*grid.Grid
+	Size int
+}
+
+// NewBilatInput generates the MRI phantom once and relayouts it into
+// every built-in layout.
+func NewBilatInput(size int, seed uint64) *BilatInput {
+	in := &BilatInput{Src: make(map[core.Kind]*grid.Grid), Size: size}
+	base := volume.MRIPhantom(core.NewArrayOrder(size, size, size), seed, 0.05)
+	in.Src[core.ArrayKind] = base
+	for _, kind := range core.Kinds()[1:] { // every non-array layout
+		g, err := base.Relayout(core.New(kind, size, size, size))
+		if err != nil {
+			panic(err) // same dims by construction
+		}
+		in.Src[kind] = g
+	}
+	return in
+}
+
+// TimeBilat measures wall-clock runtime of one bilateral-filter run
+// under the given layout.
+func TimeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int) (time.Duration, error) {
+	src := in.Src[kind]
+	nx, ny, nz := src.Dims()
+	dst := grid.New(core.New(kind, nx, ny, nz))
+	start := time.Now()
+	if err := filter.Apply(src, dst, row.options(threads)); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// SimBilat replays one bilateral-filter configuration through the cache
+// simulator with one traced view per simulated thread, returning the
+// platform's paper counter (PAPI_L3_TCA-like or L2_DATA_READ_MISS-like)
+// and the full report.
+func SimBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int, platform cache.Platform) (uint64, cache.Report, error) {
+	src := in.Src[kind]
+	nx, ny, nz := src.Dims()
+	dst := grid.New(core.New(kind, nx, ny, nz))
+	sys := cache.NewSystem(platform, threads)
+	srcs := make([]grid.Reader, threads)
+	dsts := make([]grid.Writer, threads)
+	for w := 0; w < threads; w++ {
+		front := sys.Front(w)
+		srcs[w] = grid.NewTraced(src, 0, front)
+		dsts[w] = grid.NewTraced(dst, dstBase, front)
+	}
+	if err := filter.ApplyViews(srcs, dsts, row.options(threads)); err != nil {
+		return 0, cache.Report{}, err
+	}
+	rep := sys.Report()
+	return rep.PaperMetric(), rep, nil
+}
+
+// Cell holds one configuration's measurements under both layouts, the
+// unit the ds tables are computed from.
+type Cell struct {
+	RuntimeA, RuntimeZ time.Duration
+	MetricA, MetricZ   uint64
+}
+
+// measurePair times one configuration under array order and Z order with
+// the repetitions interleaved (a, z, a, z, ...), keeping each layout's
+// minimum. Interleaving cancels slow host drift (thermal, noisy
+// neighbors) that would otherwise bias whichever layout ran last.
+func measureBilatPair(wall *BilatInput, row BilatRow, threads, reps int) (a, z time.Duration, err error) {
+	a, z = time.Duration(1<<63-1), time.Duration(1<<63-1)
+	if reps < 1 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		ta, err := TimeBilat(wall, core.ArrayKind, row, threads)
+		if err != nil {
+			return 0, 0, err
+		}
+		tz, err := TimeBilat(wall, core.ZKind, row, threads)
+		if err != nil {
+			return 0, 0, err
+		}
+		a = minDuration(a, ta)
+		z = minDuration(z, tz)
+	}
+	return a, z, nil
+}
+
+// RunBilatGrid measures the full (rows × threads) grid: interleaved
+// wall-clock on the wall-clock volume, simulated counters on the sim
+// volume, both layouts per cell. progress, if non-nil, is called before
+// each cell.
+func RunBilatGrid(cfg Config, threadList []int, platform cache.Platform,
+	progress func(msg string)) (map[string][]Cell, error) {
+	wall := NewBilatInput(cfg.BilatSize, cfg.Seed)
+	sim := NewBilatInput(cfg.BilatSimSize, cfg.Seed)
+	out := make(map[string][]Cell)
+	for _, row := range cfg.BilatRows() {
+		cells := make([]Cell, len(threadList))
+		for ti, threads := range threadList {
+			if progress != nil {
+				progress(fmt.Sprintf("bilat %s threads=%d", row.Label, threads))
+			}
+			a, z, err := measureBilatPair(wall, row, threads, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			ma, _, err := SimBilat(sim, core.ArrayKind, row, threads, platform)
+			if err != nil {
+				return nil, err
+			}
+			mz, _, err := SimBilat(sim, core.ZKind, row, threads, platform)
+			if err != nil {
+				return nil, err
+			}
+			cells[ti] = Cell{RuntimeA: a, RuntimeZ: z, MetricA: ma, MetricZ: mz}
+		}
+		out[row.Label] = cells
+	}
+	return out, nil
+}

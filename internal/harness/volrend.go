@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sfcmem/internal/cache"
+	"sfcmem/internal/core"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/render"
+	"sfcmem/internal/volume"
+)
+
+// VolInput holds the combustion plume in each layout for one experiment.
+type VolInput struct {
+	Vol  map[core.Kind]*grid.Grid
+	Size int
+}
+
+// NewVolInput generates the plume once and relayouts it into every
+// built-in layout.
+func NewVolInput(size int, seed uint64) *VolInput {
+	in := &VolInput{Vol: make(map[core.Kind]*grid.Grid), Size: size}
+	base := volume.CombustionPlume(core.NewArrayOrder(size, size, size), seed)
+	in.Vol[core.ArrayKind] = base
+	for _, kind := range core.Kinds()[1:] { // every non-array layout
+		g, err := base.Relayout(core.New(kind, size, size, size))
+		if err != nil {
+			panic(err)
+		}
+		in.Vol[kind] = g
+	}
+	return in
+}
+
+// renderOptions are the paper's renderer settings: 32×32 tiles, unit
+// step, early termination.
+func renderOptions(threads int) render.Options {
+	return render.Options{TileSize: 32, Workers: threads, Step: 1}
+}
+
+// TimeVolrend measures wall-clock runtime of one render (viewpoint ×
+// layout × threads).
+func TimeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int) (time.Duration, error) {
+	vol := in.Vol[kind]
+	cam := render.Orbit(view, nViews, in.Size, in.Size, in.Size, imgSize, imgSize)
+	tf := render.DefaultTransferFunc()
+	start := time.Now()
+	if _, err := render.Render(vol, cam, tf, renderOptions(threads)); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// SimVolrend replays one render through the cache simulator with one
+// traced view per simulated thread, returning the platform's paper
+// counter and the full report.
+func SimVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int, platform cache.Platform) (uint64, cache.Report, error) {
+	vol := in.Vol[kind]
+	cam := render.Orbit(view, nViews, in.Size, in.Size, in.Size, imgSize, imgSize)
+	tf := render.DefaultTransferFunc()
+	sys := cache.NewSystem(platform, threads)
+	views := make([]grid.Reader, threads)
+	for w := 0; w < threads; w++ {
+		views[w] = grid.NewTraced(vol, 0, sys.Front(w))
+	}
+	if _, err := render.RenderViews(views, cam, tf, renderOptions(threads)); err != nil {
+		return 0, cache.Report{}, err
+	}
+	rep := sys.Report()
+	return rep.PaperMetric(), rep, nil
+}
+
+// measureVolrendPair interleaves array/Z wall-clock repetitions for one
+// (view, threads) cell, keeping per-layout minimums (see
+// measureBilatPair for the rationale).
+func measureVolrendPair(wall *VolInput, view, nViews, imgSize, threads, reps int) (a, z time.Duration, err error) {
+	a, z = time.Duration(1<<63-1), time.Duration(1<<63-1)
+	if reps < 1 {
+		reps = 1
+	}
+	for rep := 0; rep < reps; rep++ {
+		ta, err := TimeVolrend(wall, core.ArrayKind, view, nViews, imgSize, threads)
+		if err != nil {
+			return 0, 0, err
+		}
+		tz, err := TimeVolrend(wall, core.ZKind, view, nViews, imgSize, threads)
+		if err != nil {
+			return 0, 0, err
+		}
+		a = minDuration(a, ta)
+		z = minDuration(z, tz)
+	}
+	return a, z, nil
+}
+
+// RunVolrendGrid measures the full (viewpoints × threads) grid with
+// both layouts per cell.
+func RunVolrendGrid(cfg Config, threadList []int, platform cache.Platform,
+	progress func(msg string)) ([][]Cell, error) {
+	wall := NewVolInput(cfg.VolSize, cfg.Seed)
+	sim := NewVolInput(cfg.VolSimSize, cfg.Seed)
+	out := make([][]Cell, cfg.Views)
+	for view := 0; view < cfg.Views; view++ {
+		out[view] = make([]Cell, len(threadList))
+		for ti, threads := range threadList {
+			if progress != nil {
+				progress(fmt.Sprintf("volrend view=%d threads=%d", view, threads))
+			}
+			a, z, err := measureVolrendPair(wall, view, cfg.Views, cfg.ImageSize, threads, cfg.Reps)
+			if err != nil {
+				return nil, err
+			}
+			ma, _, err := SimVolrend(sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, threads, platform)
+			if err != nil {
+				return nil, err
+			}
+			mz, _, err := SimVolrend(sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, threads, platform)
+			if err != nil {
+				return nil, err
+			}
+			out[view][ti] = Cell{RuntimeA: a, RuntimeZ: z, MetricA: ma, MetricZ: mz}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+// Package hilbert implements Hilbert space-filling-curve encoding and
+// decoding in 2D and 3D using Skilling's transpose algorithm
+// ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
+//
+// The paper's related work (Reissmann et al. 2014) compares Z-order
+// against Hilbert-order layouts and finds that Hilbert's better locality
+// rarely pays for its higher index-computation cost. This package exists
+// so the repo can reproduce that ablation: the Hilbert layout in
+// internal/core uses these routines.
+//
+// Unlike Morton indexing, Hilbert indexing has cross-coordinate bit
+// dependencies, so it cannot be reduced to three independent table
+// lookups — exactly the cost asymmetry the ablation measures.
+package hilbert
+
+// axesToTranspose converts coordinates (in place) into the "transposed"
+// Hilbert index representation: after the call, the Hilbert index bits
+// are distributed across x, read MSB-first interleaving x[0]..x[n-1].
+func axesToTranspose(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(1) << (bits - 1)
+	// Inverse undo excess work.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes is the inverse of axesToTranspose.
+func transposeToAxes(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(2) << (bits - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// gather packs the transposed representation into a single index, taking
+// bit (bits-1) of x[0], then of x[1], ..., down to bit 0 of x[n-1].
+func gather(x []uint32, bits int) uint64 {
+	var h uint64
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < len(x); i++ {
+			h = h<<1 | uint64(x[i]>>uint(b)&1)
+		}
+	}
+	return h
+}
+
+// scatter is the inverse of gather.
+func scatter(h uint64, x []uint32, bits int) {
+	n := len(x)
+	for i := range x {
+		x[i] = 0
+	}
+	pos := uint(n*bits - 1)
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			x[i] |= uint32(h>>pos&1) << uint(b)
+			pos--
+		}
+	}
+}
+
+// Encode3 returns the Hilbert index of (x,y,z) on a curve of order
+// bits (a 2^bits-sided cube). Each coordinate must be < 2^bits; bits
+// must be in [1, 21] so the index fits in 63 bits.
+func Encode3(x, y, z uint32, bits int) uint64 {
+	checkBits(bits, 21)
+	c := [3]uint32{x, y, z}
+	axesToTranspose(c[:], bits)
+	return gather(c[:], bits)
+}
+
+// Decode3 is the inverse of Encode3.
+func Decode3(h uint64, bits int) (x, y, z uint32) {
+	checkBits(bits, 21)
+	var c [3]uint32
+	scatter(h, c[:], bits)
+	transposeToAxes(c[:], bits)
+	return c[0], c[1], c[2]
+}
+
+// Encode2 returns the Hilbert index of (x,y) on a curve of order bits
+// (a 2^bits-sided square). bits must be in [1, 31].
+func Encode2(x, y uint32, bits int) uint64 {
+	checkBits(bits, 31)
+	c := [2]uint32{x, y}
+	axesToTranspose(c[:], bits)
+	return gather(c[:], bits)
+}
+
+// Decode2 is the inverse of Encode2.
+func Decode2(h uint64, bits int) (x, y uint32) {
+	checkBits(bits, 31)
+	var c [2]uint32
+	scatter(h, c[:], bits)
+	transposeToAxes(c[:], bits)
+	return c[0], c[1]
+}
+
+func checkBits(bits, max int) {
+	if bits < 1 || bits > max {
+		panic("hilbert: bits out of range")
+	}
+}

@@ -1,0 +1,148 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncode2Order1(t *testing.T) {
+	// The order-1 2D Hilbert curve visits (0,0) (0,1) (1,1) (1,0).
+	want := [][2]uint32{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for h, c := range want {
+		if got := Encode2(c[0], c[1], 1); got != uint64(h) {
+			t.Errorf("Encode2(%d,%d,1) = %d, want %d", c[0], c[1], got, h)
+		}
+		x, y := Decode2(uint64(h), 1)
+		if x != c[0] || y != c[1] {
+			t.Errorf("Decode2(%d,1) = (%d,%d), want %v", h, x, y, c)
+		}
+	}
+}
+
+func TestRoundtrip3(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		const bits = 10
+		x &= 1<<bits - 1
+		y &= 1<<bits - 1
+		z &= 1<<bits - 1
+		gx, gy, gz := Decode3(Encode3(x, y, z, bits), bits)
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundtrip2(t *testing.T) {
+	f := func(x, y uint32) bool {
+		const bits = 16
+		x &= 1<<bits - 1
+		y &= 1<<bits - 1
+		gx, gy := Decode2(Encode2(x, y, bits), bits)
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexEncodeRoundtrip3(t *testing.T) {
+	const bits = 4
+	const n = 1 << bits
+	for h := uint64(0); h < n*n*n; h++ {
+		x, y, z := Decode3(h, bits)
+		if x >= n || y >= n || z >= n {
+			t.Fatalf("Decode3(%d) = (%d,%d,%d) out of range", h, x, y, z)
+		}
+		if back := Encode3(x, y, z, bits); back != h {
+			t.Fatalf("Encode3(Decode3(%d)) = %d", h, back)
+		}
+	}
+}
+
+// The defining property of a Hilbert curve: consecutive indices map to
+// coordinates that differ by exactly 1 in exactly one axis.
+func TestAdjacency3(t *testing.T) {
+	const bits = 3
+	const n = 1 << bits
+	px, py, pz := Decode3(0, bits)
+	for h := uint64(1); h < n*n*n; h++ {
+		x, y, z := Decode3(h, bits)
+		d := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+		if d != 1 {
+			t.Fatalf("step %d→%d moves (%d,%d,%d)→(%d,%d,%d): L1 distance %d, want 1",
+				h-1, h, px, py, pz, x, y, z, d)
+		}
+		px, py, pz = x, y, z
+	}
+}
+
+func TestAdjacency2(t *testing.T) {
+	const bits = 5
+	const n = 1 << bits
+	px, py := Decode2(0, bits)
+	for h := uint64(1); h < n*n; h++ {
+		x, y := Decode2(h, bits)
+		if absDiff(x, px)+absDiff(y, py) != 1 {
+			t.Fatalf("step %d→%d moves (%d,%d)→(%d,%d): not adjacent", h-1, h, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+// Every cell is visited exactly once (bijectivity on the cube).
+func TestBijective3(t *testing.T) {
+	const bits = 3
+	const n = 1 << bits
+	seen := make(map[[3]uint32]bool, n*n*n)
+	for h := uint64(0); h < n*n*n; h++ {
+		x, y, z := Decode3(h, bits)
+		c := [3]uint32{x, y, z}
+		if seen[c] {
+			t.Fatalf("cell %v visited twice", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != n*n*n {
+		t.Fatalf("visited %d cells, want %d", len(seen), n*n*n)
+	}
+}
+
+func TestBitsPanics(t *testing.T) {
+	for _, bad := range []int{0, -1, 22} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode3 with bits=%d did not panic", bad)
+				}
+			}()
+			Encode3(0, 0, 0, bad)
+		}()
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkEncode3(b *testing.B) {
+	var sink uint64
+	for n := 0; n < b.N; n++ {
+		sink += Encode3(uint32(n)&511, uint32(n>>9)&511, uint32(n>>18)&511, 9)
+	}
+	benchSink = sink
+}
+
+func BenchmarkDecode3(b *testing.B) {
+	var sink uint32
+	for n := 0; n < b.N; n++ {
+		x, y, z := Decode3(uint64(n)&(1<<27-1), 9)
+		sink += x + y + z
+	}
+	benchSink = uint64(sink)
+}
+
+var benchSink uint64

@@ -1,0 +1,38 @@
+package morton
+
+// 8-bit lookup tables for byte-at-a-time Morton encoding. Each entry of
+// lut2 holds the 16-bit dilation (one zero between bits) of its index;
+// each entry of lut3 holds the 24-bit dilation (two zeros between bits).
+// These are built once at package init; the cost is 512 table entries.
+var (
+	lut2 [256]uint64
+	lut3 [256]uint64
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		lut2[i] = Part1By1(uint64(i))
+		lut3[i] = Part1By2(uint64(i))
+	}
+}
+
+// LUTEncode2 computes the same 2D Morton code as Encode2 using 8-bit
+// table lookups instead of parallel-prefix bit tricks.
+func LUTEncode2(x, y uint32) uint64 {
+	xe := lut2[x&0xff] | lut2[x>>8&0xff]<<16 | lut2[x>>16&0xff]<<32 | lut2[x>>24]<<48
+	ye := lut2[y&0xff] | lut2[y>>8&0xff]<<16 | lut2[y>>16&0xff]<<32 | lut2[y>>24]<<48
+	return xe | ye<<1
+}
+
+// LUTEncode3 computes the same 3D Morton code as Encode3 using 8-bit
+// table lookups. Coordinates above Max3 are truncated to 21 bits, like
+// Encode3.
+func LUTEncode3(x, y, z uint32) uint64 {
+	x &= Max3
+	y &= Max3
+	z &= Max3
+	xe := lut3[x&0xff] | lut3[x>>8&0xff]<<24 | lut3[x>>16&0xff]<<48
+	ye := lut3[y&0xff] | lut3[y>>8&0xff]<<24 | lut3[y>>16&0xff]<<48
+	ze := lut3[z&0xff] | lut3[z>>8&0xff]<<24 | lut3[z>>16&0xff]<<48
+	return xe | ye<<1 | ze<<2
+}

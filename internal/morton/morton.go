@@ -1,0 +1,157 @@
+// Package morton implements Z-order (Morton-order) curve encoding and
+// decoding for 2D and 3D coordinates.
+//
+// A Morton code interleaves the bits of the coordinates so that points
+// nearby in index space tend to be nearby in the one-dimensional code
+// space. This is the locality property the space-filling-curve memory
+// layout exploits: with data stored at its Morton index, an access that
+// is nearby in (i,j,k) is likely nearby in physical memory regardless of
+// which axis varies.
+//
+// Three implementations are provided, all producing identical codes:
+//
+//   - magic-bit (parallel-prefix) dilation: Encode2, Encode3
+//   - 8-bit lookup tables: LUTEncode2, LUTEncode3
+//   - per-axis precomputed tables sized to a specific grid (the scheme
+//     the paper adopts from Pascucci & Frank 2001): Table2, Table3
+//
+// The table form is what the memory-layout library uses at run time,
+// because it puts the Z-order index computation (three loads and two ORs)
+// on equal footing with array-order indexing (two loads and two adds).
+package morton
+
+// Coordinate limits. A 3D Morton code packs three coordinates into one
+// uint64, so each coordinate may use at most 21 bits; a 2D code packs
+// two, allowing 32 bits each.
+const (
+	// Max3 is the maximum allowed 3D coordinate value (exclusive bound
+	// is Max3+1): 21 usable bits per axis.
+	Max3 = 1<<21 - 1
+	// Max2 is the maximum allowed 2D coordinate value: 32 bits per axis.
+	Max2 = 1<<32 - 1
+)
+
+// Part1By1 spreads the low 32 bits of x apart so there is one zero bit
+// between each original bit: bit n moves to bit 2n.
+func Part1By1(x uint64) uint64 {
+	x &= 0xffffffff
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// Compact1By1 is the inverse of Part1By1: it gathers every second bit
+// (bits 0,2,4,...) of x into the low 32 bits of the result.
+func Compact1By1(x uint64) uint64 {
+	x &= 0x5555555555555555
+	x = (x ^ x>>1) & 0x3333333333333333
+	x = (x ^ x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x ^ x>>4) & 0x00ff00ff00ff00ff
+	x = (x ^ x>>8) & 0x0000ffff0000ffff
+	x = (x ^ x>>16) & 0x00000000ffffffff
+	return x
+}
+
+// Part1By2 spreads the low 21 bits of x apart so there are two zero bits
+// between each original bit: bit n moves to bit 3n.
+func Part1By2(x uint64) uint64 {
+	x &= 0x1fffff
+	x = (x | x<<32) & 0x001f00000000ffff
+	x = (x | x<<16) & 0x001f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// Compact1By2 is the inverse of Part1By2: it gathers every third bit
+// (bits 0,3,6,...) of x into the low 21 bits of the result.
+func Compact1By2(x uint64) uint64 {
+	x &= 0x1249249249249249
+	x = (x ^ x>>2) & 0x10c30c30c30c30c3
+	x = (x ^ x>>4) & 0x100f00f00f00f00f
+	x = (x ^ x>>8) & 0x001f0000ff0000ff
+	x = (x ^ x>>16) & 0x001f00000000ffff
+	x = (x ^ x>>32) & 0x00000000001fffff
+	return x
+}
+
+// Encode2 interleaves x and y into a 2D Morton code. Bit n of x lands at
+// bit 2n of the result and bit n of y at bit 2n+1. x and y must be at
+// most Max2.
+func Encode2(x, y uint32) uint64 {
+	return Part1By1(uint64(x)) | Part1By1(uint64(y))<<1
+}
+
+// Decode2 is the inverse of Encode2.
+func Decode2(code uint64) (x, y uint32) {
+	return uint32(Compact1By1(code)), uint32(Compact1By1(code >> 1))
+}
+
+// Encode3 interleaves x, y and z into a 3D Morton code. Bit n of x lands
+// at bit 3n, of y at 3n+1, of z at 3n+2. Each coordinate must be at most
+// Max3; higher bits are ignored.
+func Encode3(x, y, z uint32) uint64 {
+	return Part1By2(uint64(x)) | Part1By2(uint64(y))<<1 | Part1By2(uint64(z))<<2
+}
+
+// Decode3 is the inverse of Encode3.
+func Decode3(code uint64) (x, y, z uint32) {
+	return uint32(Compact1By2(code)),
+		uint32(Compact1By2(code >> 1)),
+		uint32(Compact1By2(code >> 2))
+}
+
+// IncX returns the Morton code of (x+1, y, z) given the code of (x, y, z),
+// without decoding. It works by isolating the x bit-lanes, adding one in
+// that dilated domain, and re-merging. The caller must ensure x+1 does
+// not overflow 21 bits.
+func IncX(code uint64) uint64 {
+	const xMask = 0x1249249249249249
+	const yzMask = ^uint64(xMask)
+	x := (code | yzMask) + 1
+	return (x & xMask) | (code & yzMask)
+}
+
+// IncY returns the Morton code of (x, y+1, z) given the code of (x, y, z).
+func IncY(code uint64) uint64 {
+	const yMask = 0x1249249249249249 << 1
+	const xzMask = ^uint64(yMask)
+	y := (code | xzMask) + 2
+	return (y & yMask) | (code & xzMask)
+}
+
+// IncZ returns the Morton code of (x, y, z+1) given the code of (x, y, z).
+func IncZ(code uint64) uint64 {
+	const zMask = 0x1249249249249249 << 2
+	const xyMask = ^uint64(zMask)
+	z := (code | xyMask) + 4
+	return (z & zMask) | (code & xyMask)
+}
+
+// NextPow2 returns the smallest power of two >= n, with NextPow2(0) == 1.
+// Z-order indexing requires each grid extent to be padded to a power of
+// two (the paper's §V limitation); layouts use this to size their buffer.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Log2 returns floor(log2(n)) for n >= 1.
+func Log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

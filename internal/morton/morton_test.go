@@ -1,0 +1,334 @@
+package morton
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncode3KnownValues(t *testing.T) {
+	cases := []struct {
+		x, y, z uint32
+		want    uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{0, 1, 0, 2},
+		{0, 0, 1, 4},
+		{1, 1, 1, 7},
+		{2, 0, 0, 8},
+		{0, 2, 0, 16},
+		{0, 0, 2, 32},
+		{3, 3, 3, 63},
+		{7, 0, 0, 0b001001001},
+		{0, 7, 0, 0b010010010},
+		{0, 0, 7, 0b100100100},
+		{Max3, Max3, Max3, 1<<63 - 1},
+	}
+	for _, c := range cases {
+		if got := Encode3(c.x, c.y, c.z); got != c.want {
+			t.Errorf("Encode3(%d,%d,%d) = %#x, want %#x", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}
+
+func TestEncode2KnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		want uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 2, 12},
+		{3, 5, 0b100111},
+		{0xffffffff, 0xffffffff, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Encode2(c.x, c.y); got != c.want {
+			t.Errorf("Encode2(%d,%d) = %#x, want %#x", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestEncode3Decode3Roundtrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= Max3
+		y &= Max3
+		z &= Max3
+		gx, gy, gz := Decode3(Encode3(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncode2Decode2Roundtrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Decode2(Encode2(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEncodeRoundtrip3(t *testing.T) {
+	// Any 63-bit code decodes to coordinates that re-encode to itself.
+	f := func(code uint64) bool {
+		code &= 1<<63 - 1
+		x, y, z := Decode3(code)
+		return Encode3(x, y, z) == code
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUTMatchesMagicBits3(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		return LUTEncode3(x, y, z) == Encode3(x&Max3, y&Max3, z&Max3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUTMatchesMagicBits2(t *testing.T) {
+	f := func(x, y uint32) bool {
+		return LUTEncode2(x, y) == Encode2(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartCompactInverse(t *testing.T) {
+	f1 := func(x uint32) bool {
+		return Compact1By1(Part1By1(uint64(x))) == uint64(x)
+	}
+	if err := quick.Check(f1, nil); err != nil {
+		t.Errorf("Part1By1/Compact1By1: %v", err)
+	}
+	f2 := func(x uint32) bool {
+		x &= Max3
+		return Compact1By2(Part1By2(uint64(x))) == uint64(x)
+	}
+	if err := quick.Check(f2, nil); err != nil {
+		t.Errorf("Part1By2/Compact1By2: %v", err)
+	}
+}
+
+func TestIncXYZ(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= Max3 - 1
+		y &= Max3 - 1
+		z &= Max3 - 1
+		c := Encode3(x, y, z)
+		return IncX(c) == Encode3(x+1, y, z) &&
+			IncY(c) == Encode3(x, y+1, z) &&
+			IncZ(c) == Encode3(x, y, z+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonMonotoneOnDiagonal(t *testing.T) {
+	// Along the main diagonal the Morton code is strictly increasing.
+	prev := uint64(0)
+	for v := uint32(1); v < 4096; v++ {
+		c := Encode3(v, v, v)
+		if c <= prev {
+			t.Fatalf("Encode3(%d,%d,%d)=%d not > previous %d", v, v, v, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestMortonCodesAreUnique(t *testing.T) {
+	const n = 16
+	seen := make(map[uint64][3]int, n*n*n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				c := Encode3(uint32(i), uint32(j), uint32(k))
+				if old, dup := seen[c]; dup {
+					t.Fatalf("code %d for (%d,%d,%d) collides with %v", c, i, j, k, old)
+				}
+				seen[c] = [3]int{i, j, k}
+			}
+		}
+	}
+	// For a cubic power-of-two grid the codes are also dense in [0, n³).
+	for c := uint64(0); c < n*n*n; c++ {
+		if _, ok := seen[c]; !ok {
+			t.Fatalf("code %d missing: Morton codes not dense on %d^3 grid", c, n)
+		}
+	}
+}
+
+func TestTable3MatchesEncode3(t *testing.T) {
+	tbl := NewTable3(17, 8, 33) // deliberately non-power-of-two, unequal
+	for k := 0; k < 33; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 17; i++ {
+				want := Encode3(uint32(i), uint32(j), uint32(k))
+				if got := tbl.Index(i, j, k); got != want {
+					t.Fatalf("Table3.Index(%d,%d,%d)=%d, want %d", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTable3PaddedLen(t *testing.T) {
+	cases := []struct {
+		nx, ny, nz int
+	}{
+		{8, 8, 8}, {16, 16, 16}, {5, 5, 5}, {17, 8, 33}, {1, 1, 1}, {2, 1, 1},
+	}
+	for _, c := range cases {
+		tbl := NewTable3(c.nx, c.ny, c.nz)
+		n := tbl.PaddedLen()
+		// Every index must fit.
+		maxIdx := tbl.Index(c.nx-1, c.ny-1, c.nz-1)
+		if int(maxIdx) != n-1 {
+			t.Errorf("%dx%dx%d: PaddedLen=%d but max index=%d", c.nx, c.ny, c.nz, n, maxIdx)
+		}
+		// For cubic power-of-two grids the padding is free.
+		if c.nx == c.ny && c.ny == c.nz && NextPow2(c.nx) == c.nx {
+			if n != c.nx*c.ny*c.nz {
+				t.Errorf("%d^3: PaddedLen=%d, want dense %d", c.nx, n, c.nx*c.ny*c.nz)
+			}
+		}
+	}
+}
+
+func TestTable3Dims(t *testing.T) {
+	tbl := NewTable3(5, 6, 7)
+	nx, ny, nz := tbl.Dims()
+	if nx != 5 || ny != 6 || nz != 7 {
+		t.Errorf("Dims = %d,%d,%d, want 5,6,7", nx, ny, nz)
+	}
+	px, py, pz := tbl.PaddedDims()
+	if px != 8 || py != 8 || pz != 8 {
+		t.Errorf("PaddedDims = %d,%d,%d, want 8,8,8", px, py, pz)
+	}
+}
+
+func TestNewTable3Panics(t *testing.T) {
+	for _, bad := range [][3]int{{0, 1, 1}, {1, -1, 1}, {1, 1, Max3 + 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable3(%v) did not panic", bad)
+				}
+			}()
+			NewTable3(bad[0], bad[1], bad[2])
+		}()
+	}
+}
+
+func TestTable2MatchesEncode2(t *testing.T) {
+	tbl := NewTable2(13, 21)
+	for j := 0; j < 21; j++ {
+		for i := 0; i < 13; i++ {
+			want := Encode2(uint32(i), uint32(j))
+			if got := tbl.Index(i, j); got != want {
+				t.Fatalf("Table2.Index(%d,%d)=%d, want %d", i, j, got, want)
+			}
+		}
+	}
+	if n := tbl.PaddedLen(); n != int(Encode2(12, 20))+1 {
+		t.Errorf("PaddedLen=%d", n)
+	}
+	nx, ny := tbl.Dims()
+	if nx != 13 || ny != 21 {
+		t.Errorf("Dims=%d,%d", nx, ny)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 7: 8, 8: 8, 9: 16, 511: 512, 512: 512, 513: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d)=%d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1024: 10}
+	for in, want := range cases {
+		if got := Log2(in); got != want {
+			t.Errorf("Log2(%d)=%d, want %d", in, got, want)
+		}
+	}
+}
+
+// Locality sanity check: the mean code distance of a unit step in any
+// axis must be far smaller under Morton order than the worst axis under
+// row-major order. This is the quantitative heart of the paper's Fig 1.
+func TestMortonLocalityBeatsRowMajorWorstAxis(t *testing.T) {
+	const n = 32
+	var mortonZ, rowZ float64
+	count := 0
+	for k := 0; k < n-1; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				a := Encode3(uint32(i), uint32(j), uint32(k))
+				b := Encode3(uint32(i), uint32(j), uint32(k+1))
+				d := int64(b) - int64(a)
+				if d < 0 {
+					d = -d
+				}
+				mortonZ += float64(d)
+				rowZ += float64(n * n) // row-major z-step distance is always nx*ny
+				count++
+			}
+		}
+	}
+	mortonZ /= float64(count)
+	rowZ /= float64(count)
+	if mortonZ >= rowZ {
+		t.Errorf("mean Morton z-step distance %.1f not below row-major %.1f", mortonZ, rowZ)
+	}
+}
+
+func BenchmarkEncode3Magic(b *testing.B) {
+	var sink uint64
+	for n := 0; n < b.N; n++ {
+		sink += Encode3(uint32(n)&511, uint32(n>>9)&511, uint32(n>>18)&511)
+	}
+	benchSink = sink
+}
+
+func BenchmarkEncode3LUT(b *testing.B) {
+	var sink uint64
+	for n := 0; n < b.N; n++ {
+		sink += LUTEncode3(uint32(n)&511, uint32(n>>9)&511, uint32(n>>18)&511)
+	}
+	benchSink = sink
+}
+
+func BenchmarkEncode3Table(b *testing.B) {
+	tbl := NewTable3(512, 512, 512)
+	var sink uint64
+	for n := 0; n < b.N; n++ {
+		sink += tbl.Index(n&511, n>>9&511, n>>18&511)
+	}
+	benchSink = sink
+}
+
+func BenchmarkDecode3(b *testing.B) {
+	var sink uint32
+	for n := 0; n < b.N; n++ {
+		x, y, z := Decode3(uint64(n))
+		sink += x + y + z
+	}
+	benchSink = uint64(sink)
+}
+
+var benchSink uint64

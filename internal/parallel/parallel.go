@@ -1,0 +1,187 @@
+// Package parallel implements the paper's two shared-memory work
+// distribution strategies:
+//
+//   - round-robin pencil assignment (§III-A): the bilateral filter hands
+//     out 1-D "pencils" of output voxels — width-, height-, or depth-rows
+//     — to threads in round-robin order;
+//   - a dynamic worker-pool queue (§III-B): the volume renderer's 32×32
+//     image tiles are served from a shared queue, the strategy the paper
+//     cites as its reason for using raw threads over OpenMP.
+//
+// Both run the caller's function on plain goroutines; with one worker
+// they degrade to a deterministic serial loop.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Axis selects the pencil direction.
+type Axis int
+
+// Pencil axes. The paper's configurations are AxisX ("px", width rows,
+// favorable for array order) and AxisZ ("pz", depth rows, the
+// against-the-grain case).
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// String returns the paper's label for the axis ("px", "py", "pz").
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "px"
+	case AxisY:
+		return "py"
+	case AxisZ:
+		return "pz"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// ParseAxis maps "px"/"x", "py"/"y", "pz"/"z" to an Axis.
+func ParseAxis(s string) (Axis, error) {
+	switch s {
+	case "px", "x", "X":
+		return AxisX, nil
+	case "py", "y", "Y":
+		return AxisY, nil
+	case "pz", "z", "Z":
+		return AxisZ, nil
+	}
+	return 0, fmt.Errorf("parallel: unknown axis %q", s)
+}
+
+// PencilCount returns how many pencils an nx×ny×nz volume decomposes
+// into along the given axis (the product of the two other extents).
+func PencilCount(nx, ny, nz int, axis Axis) int {
+	switch axis {
+	case AxisX:
+		return ny * nz
+	case AxisY:
+		return nx * nz
+	case AxisZ:
+		return nx * ny
+	}
+	panic("parallel: invalid axis")
+}
+
+// PencilStart returns the fixed coordinates of pencil p and the extent
+// of its varying axis. For AxisX, pencil p covers (0..nx-1, j, k) with
+// j = p mod ny, k = p / ny; analogously for the other axes.
+func PencilStart(nx, ny, nz int, axis Axis, p int) (i, j, k, length int) {
+	switch axis {
+	case AxisX:
+		return 0, p % ny, p / ny, nx
+	case AxisY:
+		return p % nx, 0, p / nx, ny
+	case AxisZ:
+		return p % nx, p / nx, 0, nz
+	}
+	panic("parallel: invalid axis")
+}
+
+// PencilStep returns the per-element index increment along the pencil.
+func PencilStep(axis Axis) (di, dj, dk int) {
+	switch axis {
+	case AxisX:
+		return 1, 0, 0
+	case AxisY:
+		return 0, 1, 0
+	case AxisZ:
+		return 0, 0, 1
+	}
+	panic("parallel: invalid axis")
+}
+
+// RoundRobin runs fn(workerID, item) for every item in [0, items) using
+// the given number of workers; worker w handles items w, w+workers,
+// w+2*workers, ... in order — the paper's round-robin pencil handout.
+// With workers == 1 it is a plain deterministic loop. It panics if
+// workers < 1.
+func RoundRobin(items, workers int, fn func(worker, item int)) {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	if workers == 1 {
+		for i := 0; i < items; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < items; i += workers {
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Dynamic runs fn(workerID, item) for every item in [0, items) using a
+// shared atomic queue: each worker repeatedly claims the next unclaimed
+// item. This is the paper's worker-pool model for the renderer's tile
+// decomposition. It panics if workers < 1.
+func Dynamic(items, workers int, fn func(worker, item int)) {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	if workers == 1 {
+		for i := 0; i < items; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= items {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Tile is a rectangular region of an image: pixels [X0,X1) × [Y0,Y1).
+type Tile struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Tiles decomposes a width×height image into size×size tiles (the
+// paper uses 32×32), with partial tiles at the right/bottom edges.
+// Tiles are ordered row-major.
+func Tiles(width, height, size int) []Tile {
+	if size <= 0 {
+		panic("parallel: tile size must be positive")
+	}
+	var ts []Tile
+	for y := 0; y < height; y += size {
+		for x := 0; x < width; x += size {
+			t := Tile{X0: x, Y0: y, X1: x + size, Y1: y + size}
+			if t.X1 > width {
+				t.X1 = width
+			}
+			if t.Y1 > height {
+				t.Y1 = height
+			}
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}

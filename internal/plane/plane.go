@@ -1,0 +1,315 @@
+// Package plane is the 2D counterpart of the 3D layout/grid machinery:
+// 2D memory layouts (row-major, Z-order, Hilbert) behind one Index(x,y)
+// interface, a float32 image stored under any of them, and the original
+// 2D bilateral filter of Tomasi & Manduchi 1998 — the algorithm the
+// paper's 3D kernel generalizes. The paper's Fig. 1 illustrates layout/
+// ray alignment on a 2D slice; this package makes that setting runnable
+// (see examples/image2d and cmd/layoutviz).
+package plane
+
+import (
+	"fmt"
+	"math"
+
+	"sfcmem/internal/hilbert"
+	"sfcmem/internal/morton"
+)
+
+// Layout maps 2D indices to linear buffer offsets: 0 <= x < nx (fast
+// axis in the row-major sense), 0 <= y < ny.
+type Layout interface {
+	// Index returns the buffer offset of pixel (x, y).
+	Index(x, y int) int
+	// Dims returns the image extents.
+	Dims() (nx, ny int)
+	// Len returns the required buffer length (padding included).
+	Len() int
+	// Name returns the layout's registry name.
+	Name() string
+}
+
+func checkDims2(nx, ny int) {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("plane: extents %dx%d must be positive", nx, ny))
+	}
+}
+
+// RowMajor is the traditional 2D array layout, offset-table driven like
+// its 3D counterpart.
+type RowMajor struct {
+	yoffset []int
+	nx, ny  int
+}
+
+// NewRowMajor builds a row-major layout.
+func NewRowMajor(nx, ny int) *RowMajor {
+	checkDims2(nx, ny)
+	l := &RowMajor{nx: nx, ny: ny, yoffset: make([]int, ny)}
+	for y := 0; y < ny; y++ {
+		l.yoffset[y] = y * nx
+	}
+	return l
+}
+
+// Index returns x + y*nx.
+func (l *RowMajor) Index(x, y int) int { return x + l.yoffset[y] }
+
+// Dims returns the image extents.
+func (l *RowMajor) Dims() (nx, ny int) { return l.nx, l.ny }
+
+// Len returns nx*ny.
+func (l *RowMajor) Len() int { return l.nx * l.ny }
+
+// Name returns "array".
+func (l *RowMajor) Name() string { return "array" }
+
+// ZOrder2 is the 2D Morton layout.
+type ZOrder2 struct {
+	t      *morton.Table2
+	length int
+}
+
+// NewZOrder2 builds a 2D Z-order layout (extents padded as needed).
+func NewZOrder2(nx, ny int) *ZOrder2 {
+	checkDims2(nx, ny)
+	t := morton.NewTable2(nx, ny)
+	return &ZOrder2{t: t, length: t.PaddedLen()}
+}
+
+// Index returns the 2D Morton code of (x, y).
+func (l *ZOrder2) Index(x, y int) int { return int(l.t.Index(x, y)) }
+
+// Dims returns the image extents.
+func (l *ZOrder2) Dims() (nx, ny int) { return l.t.Dims() }
+
+// Len returns the padded buffer length.
+func (l *ZOrder2) Len() int { return l.length }
+
+// Name returns "zorder".
+func (l *ZOrder2) Name() string { return "zorder" }
+
+// Hilbert2 is the 2D Hilbert-curve layout over a padded power-of-two
+// square.
+type Hilbert2 struct {
+	nx, ny, bits, length int
+}
+
+// NewHilbert2 builds a 2D Hilbert layout.
+func NewHilbert2(nx, ny int) *Hilbert2 {
+	checkDims2(nx, ny)
+	side := morton.NextPow2(maxInt(nx, ny))
+	bits := morton.Log2(side)
+	if bits == 0 {
+		bits, side = 1, 2
+	}
+	return &Hilbert2{nx: nx, ny: ny, bits: bits, length: side * side}
+}
+
+// Index returns the Hilbert index of (x, y).
+func (l *Hilbert2) Index(x, y int) int {
+	return int(hilbert.Encode2(uint32(x), uint32(y), l.bits))
+}
+
+// Dims returns the image extents.
+func (l *Hilbert2) Dims() (nx, ny int) { return l.nx, l.ny }
+
+// Len returns the padded square area.
+func (l *Hilbert2) Len() int { return l.length }
+
+// Name returns "hilbert".
+func (l *Hilbert2) Name() string { return "hilbert" }
+
+func maxInt(a, b int) int {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// Image is a float32 image stored under a 2D layout.
+type Image struct {
+	layout Layout
+	data   []float32
+}
+
+// NewImage allocates a zero image under the layout.
+func NewImage(l Layout) *Image {
+	return &Image{layout: l, data: make([]float32, l.Len())}
+}
+
+// FromFunc allocates an image filled with f(x, y).
+func FromFunc(l Layout, f func(x, y int) float32) *Image {
+	im := NewImage(l)
+	nx, ny := l.Dims()
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			im.data[l.Index(x, y)] = f(x, y)
+		}
+	}
+	return im
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) float32 { return im.data[im.layout.Index(x, y)] }
+
+// Set stores v at (x, y).
+func (im *Image) Set(x, y int, v float32) { im.data[im.layout.Index(x, y)] = v }
+
+// Dims returns the image extents.
+func (im *Image) Dims() (nx, ny int) { return im.layout.Dims() }
+
+// Layout returns the image's layout.
+func (im *Image) Layout() Layout { return im.layout }
+
+// Relayout copies the image under a new layout of identical extents.
+func (im *Image) Relayout(target Layout) (*Image, error) {
+	sx, sy := im.Dims()
+	tx, ty := target.Dims()
+	if sx != tx || sy != ty {
+		return nil, fmt.Errorf("plane: relayout %dx%d -> %dx%d mismatch", sx, sy, tx, ty)
+	}
+	out := NewImage(target)
+	for y := 0; y < sy; y++ {
+		for x := 0; x < sx; x++ {
+			out.Set(x, y, im.At(x, y))
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two images have identical extents and pixels.
+func Equal(a, b *Image) bool {
+	ax, ay := a.Dims()
+	bx, by := b.Dims()
+	if ax != bx || ay != by {
+		return false
+	}
+	for y := 0; y < ay; y++ {
+		for x := 0; x < ax; x++ {
+			if a.At(x, y) != b.At(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BilateralOptions configures the 2D bilateral filter.
+type BilateralOptions struct {
+	Radius       int     // stencil radius; the window is (2R+1)²
+	SigmaSpatial float64 // geometric sigma in pixels (0: Radius/2+0.5)
+	SigmaRange   float64 // photometric sigma in value units (0: 0.1)
+}
+
+// Bilateral runs the Tomasi–Manduchi 2D bilateral filter from src into
+// dst (same extents, exact math.Exp weights — 2D images are small
+// enough not to need the 3D kernel's LUT).
+func Bilateral(src, dst *Image, o BilateralOptions) error {
+	if o.Radius < 1 {
+		return fmt.Errorf("plane: radius %d must be >= 1", o.Radius)
+	}
+	if o.SigmaSpatial == 0 {
+		o.SigmaSpatial = float64(o.Radius)/2 + 0.5
+	}
+	if o.SigmaRange == 0 {
+		o.SigmaRange = 0.1
+	}
+	sx, sy := src.Dims()
+	dx, dy := dst.Dims()
+	if sx != dx || sy != dy {
+		return fmt.Errorf("plane: src %dx%d vs dst %dx%d", sx, sy, dx, dy)
+	}
+	inv2ss := 1 / (2 * o.SigmaSpatial * o.SigmaSpatial)
+	inv2sr := 1 / (2 * o.SigmaRange * o.SigmaRange)
+	r := o.Radius
+	for y := 0; y < sy; y++ {
+		for x := 0; x < sx; x++ {
+			center := float64(src.At(x, y))
+			var num, den float64
+			for oy := -r; oy <= r; oy++ {
+				yy := y + oy
+				if yy < 0 || yy >= sy {
+					continue
+				}
+				for ox := -r; ox <= r; ox++ {
+					xx := x + ox
+					if xx < 0 || xx >= sx {
+						continue
+					}
+					v := float64(src.At(xx, yy))
+					dv := v - center
+					w := math.Exp(-float64(ox*ox+oy*oy)*inv2ss) * math.Exp(-dv*dv*inv2sr)
+					num += w * v
+					den += w
+				}
+			}
+			dst.Set(x, y, float32(num/den))
+		}
+	}
+	return nil
+}
+
+// AxisStride2 measures the mean |Δoffset| for unit steps along axis
+// (0=x, 1=y) — the 2D version of the paper's Fig. 1 numbers.
+func AxisStride2(l Layout, axis int) float64 {
+	nx, ny := l.Dims()
+	dx, dy := 1, 0
+	if axis == 1 {
+		dx, dy = 0, 1
+	} else if axis != 0 {
+		panic("plane: axis must be 0 or 1")
+	}
+	var sum float64
+	var n int
+	for y := 0; y+dy < ny; y++ {
+		for x := 0; x+dx < nx; x++ {
+			d := l.Index(x+dx, y+dy) - l.Index(x, y)
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Sink matches the 3D grid package's access-sink contract so 2D images
+// can feed the same cache simulator and analyzers.
+type Sink interface {
+	Access(addr uint64, write bool)
+}
+
+// TracedImage reports every pixel access to a Sink before satisfying it,
+// mirroring grid.Traced for the 2D setting.
+type TracedImage struct {
+	im   *Image
+	sink Sink
+	base uint64
+}
+
+// NewTraced wraps im in a traced view based at the given simulated byte
+// address.
+func NewTraced(im *Image, base uint64, sink Sink) *TracedImage {
+	return &TracedImage{im: im, sink: sink, base: base}
+}
+
+// At reports the read and returns the pixel.
+func (t *TracedImage) At(x, y int) float32 {
+	idx := t.im.layout.Index(x, y)
+	t.sink.Access(t.base+uint64(idx)*4, false)
+	return t.im.data[idx]
+}
+
+// Set reports the write and stores the pixel.
+func (t *TracedImage) Set(x, y int, v float32) {
+	idx := t.im.layout.Index(x, y)
+	t.sink.Access(t.base+uint64(idx)*4, true)
+	t.im.data[idx] = v
+}
+
+// Dims returns the image extents.
+func (t *TracedImage) Dims() (nx, ny int) { return t.im.Dims() }

@@ -1,0 +1,222 @@
+package plane
+
+import (
+	"math"
+	"testing"
+
+	"sfcmem/internal/volume"
+)
+
+func layouts(nx, ny int) []Layout {
+	return []Layout{NewRowMajor(nx, ny), NewZOrder2(nx, ny), NewHilbert2(nx, ny)}
+}
+
+func TestLayoutsInjectiveInBounds(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {5, 9}, {1, 1}, {16, 4}} {
+		for _, l := range layouts(dims[0], dims[1]) {
+			seen := map[int]bool{}
+			for y := 0; y < dims[1]; y++ {
+				for x := 0; x < dims[0]; x++ {
+					idx := l.Index(x, y)
+					if idx < 0 || idx >= l.Len() {
+						t.Fatalf("%s %v: Index(%d,%d)=%d out of [0,%d)", l.Name(), dims, x, y, idx, l.Len())
+					}
+					if seen[idx] {
+						t.Fatalf("%s %v: offset %d duplicated", l.Name(), dims, idx)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+	}
+}
+
+func TestRowMajorFormula(t *testing.T) {
+	l := NewRowMajor(7, 5)
+	if l.Index(3, 2) != 3+2*7 {
+		t.Errorf("Index(3,2)=%d", l.Index(3, 2))
+	}
+	if l.Len() != 35 {
+		t.Errorf("Len=%d", l.Len())
+	}
+}
+
+func TestImageRoundtripAndRelayout(t *testing.T) {
+	src := FromFunc(NewRowMajor(16, 16), func(x, y int) float32 {
+		return float32(x*100 + y)
+	})
+	for _, l := range layouts(16, 16) {
+		out, err := src.Relayout(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(src, out) {
+			t.Errorf("relayout to %s changed pixels", l.Name())
+		}
+	}
+	if _, err := src.Relayout(NewRowMajor(8, 8)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestEqualDetectsDiff(t *testing.T) {
+	a := NewImage(NewRowMajor(4, 4))
+	b := NewImage(NewZOrder2(4, 4))
+	if !Equal(a, b) {
+		t.Error("zero images unequal")
+	}
+	b.Set(2, 3, 1)
+	if Equal(a, b) {
+		t.Error("difference missed")
+	}
+	c := NewImage(NewRowMajor(4, 5))
+	if Equal(a, c) {
+		t.Error("dim mismatch missed")
+	}
+}
+
+func TestBilateralConstantUnchanged(t *testing.T) {
+	src := FromFunc(NewZOrder2(12, 12), func(_, _ int) float32 { return 0.5 })
+	dst := NewImage(NewZOrder2(12, 12))
+	if err := Bilateral(src, dst, BilateralOptions{Radius: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 12; y++ {
+		for x := 0; x < 12; x++ {
+			if math.Abs(float64(dst.At(x, y))-0.5) > 1e-6 {
+				t.Fatalf("pixel (%d,%d) = %v", x, y, dst.At(x, y))
+			}
+		}
+	}
+}
+
+func TestBilateralLayoutInvariant(t *testing.T) {
+	rng := volume.NewRNG(3)
+	base := FromFunc(NewRowMajor(16, 16), func(x, y int) float32 {
+		v := float32(0.2)
+		if x > 8 {
+			v = 0.8
+		}
+		return v + 0.05*rng.Normal()
+	})
+	var ref *Image
+	for _, l := range layouts(16, 16) {
+		src, err := base.Relayout(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := NewImage(l)
+		if err := Bilateral(src, dst, BilateralOptions{Radius: 2}); err != nil {
+			t.Fatal(err)
+		}
+		back, err := dst.Relayout(NewRowMajor(16, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = back
+		} else if !Equal(ref, back) {
+			t.Errorf("bilateral output differs under %s", l.Name())
+		}
+	}
+}
+
+func TestBilateralPreservesStep(t *testing.T) {
+	src := FromFunc(NewRowMajor(20, 20), func(x, _ int) float32 {
+		if x >= 10 {
+			return 1
+		}
+		return 0
+	})
+	dst := NewImage(NewRowMajor(20, 20))
+	if err := Bilateral(src, dst, BilateralOptions{Radius: 3, SigmaRange: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	// The step must remain essentially binary away from the boundary.
+	if dst.At(2, 10) > 0.05 || dst.At(17, 10) < 0.95 {
+		t.Errorf("edge smeared: %v / %v", dst.At(2, 10), dst.At(17, 10))
+	}
+}
+
+func TestBilateralValidation(t *testing.T) {
+	a := NewImage(NewRowMajor(4, 4))
+	if err := Bilateral(a, a, BilateralOptions{Radius: 0}); err == nil {
+		t.Error("radius 0 accepted")
+	}
+	b := NewImage(NewRowMajor(5, 4))
+	if err := Bilateral(a, b, BilateralOptions{Radius: 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestAxisStride2(t *testing.T) {
+	rm := NewRowMajor(32, 32)
+	if s := AxisStride2(rm, 0); s != 1 {
+		t.Errorf("x stride %v", s)
+	}
+	if s := AxisStride2(rm, 1); s != 32 {
+		t.Errorf("y stride %v", s)
+	}
+	z := NewZOrder2(32, 32)
+	zx, zy := AxisStride2(z, 0), AxisStride2(z, 1)
+	// Z order balances the axes; its worst axis beats row-major's.
+	if math.Max(zx, zy) >= 32 {
+		t.Errorf("zorder strides %v/%v not better than row-major worst", zx, zy)
+	}
+	h := NewHilbert2(32, 32)
+	if math.Max(AxisStride2(h, 0), AxisStride2(h, 1)) >= 32 {
+		t.Error("hilbert strides not better than row-major worst")
+	}
+}
+
+func TestAxisStride2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("axis 2 accepted")
+		}
+	}()
+	AxisStride2(NewRowMajor(4, 4), 2)
+}
+
+func TestLayoutNamePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRowMajor(0, 4) },
+		func() { NewZOrder2(4, -1) },
+		func() { NewHilbert2(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad dims accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+type countSink struct{ reads, writes int }
+
+func (c *countSink) Access(_ uint64, write bool) {
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
+}
+
+func TestTracedImage(t *testing.T) {
+	im := NewImage(NewZOrder2(4, 4))
+	var c countSink
+	tr := NewTraced(im, 0, &c)
+	tr.Set(1, 2, 5)
+	if tr.At(1, 2) != 5 {
+		t.Error("traced roundtrip failed")
+	}
+	if c.reads != 1 || c.writes != 1 {
+		t.Errorf("counts %d/%d", c.reads, c.writes)
+	}
+	if nx, ny := tr.Dims(); nx != 4 || ny != 4 {
+		t.Errorf("dims %dx%d", nx, ny)
+	}
+}

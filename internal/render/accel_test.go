@@ -1,0 +1,139 @@
+package render
+
+import (
+	"testing"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/volume"
+)
+
+func TestBuildAccelRanges(t *testing.T) {
+	// Value = x index: cell (cx,*,*) of edge 4 covers x in [4cx-1, 4cx+4]
+	// (apron included, clamped).
+	g := grid.FromFunc(core.NewArrayOrder(16, 16, 16), func(i, _, _ int) float32 {
+		return float32(i)
+	})
+	a := BuildAccel(g, 4)
+	if a.Edge() != 4 {
+		t.Errorf("Edge=%d", a.Edge())
+	}
+	lo, hi := a.CellRange(0, 0, 0)
+	if lo != 0 || hi != 4 {
+		t.Errorf("cell 0 range %v..%v, want 0..4 (apron)", lo, hi)
+	}
+	lo, hi = a.CellRange(1, 0, 0)
+	if lo != 3 || hi != 8 {
+		t.Errorf("cell 1 range %v..%v, want 3..8", lo, hi)
+	}
+	lo, hi = a.CellRange(3, 2, 1)
+	if lo != 11 || hi != 15 {
+		t.Errorf("last cell range %v..%v, want 11..15", lo, hi)
+	}
+}
+
+func TestBuildAccelPanicsOnBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("edge 0 accepted")
+		}
+	}()
+	BuildAccel(grid.New(core.NewArrayOrder(4, 4, 4)), 0)
+}
+
+func TestMinOpaqueValue(t *testing.T) {
+	tf, err := NewTransferFunc([]ControlPoint{
+		{Value: 0.0, Color: RGBA{}},
+		{Value: 0.5, Color: RGBA{}},
+		{Value: 0.6, Color: RGBA{1, 1, 1, 0.5}},
+		{Value: 1.0, Color: RGBA{1, 1, 1, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := tf.MinOpaqueValue()
+	if th < 0.45 || th > 0.55 {
+		t.Errorf("threshold %v, want ≈0.5 (first bin with nonzero alpha)", th)
+	}
+	// Fully transparent function: threshold above any value.
+	clear, err := NewTransferFunc([]ControlPoint{{Value: 0, Color: RGBA{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clear.MinOpaqueValue() <= 1 {
+		t.Errorf("transparent TF threshold %v", clear.MinOpaqueValue())
+	}
+}
+
+func TestEmptySkipBitwiseIdentical(t *testing.T) {
+	const n = 32
+	vol := volume.CombustionPlume(core.NewZOrder(n, n, n), 1)
+	tf := DefaultTransferFunc()
+	for _, view := range []int{0, 1, 2, 3} {
+		cam := Orbit(view, 8, n, n, n, 48, 48)
+		plain, err := Render(vol, cam, tf, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		skip, err := Render(vol, cam, tf, Options{Workers: 2, EmptySkip: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxDiff(plain, skip); d != 0 {
+			t.Errorf("view %d: empty-skip changed the image by %v", view, d)
+		}
+		if plain.MeanAlpha() == 0 {
+			t.Fatalf("view %d: vacuous comparison (empty image)", view)
+		}
+	}
+}
+
+func TestEmptySkipReducesSamples(t *testing.T) {
+	// A small dense sphere in a big empty volume: most macrocells skip.
+	const n = 64
+	vol := volume.SolidSphere(core.NewArrayOrder(n, n, n), 0.25)
+	cam := Orbit(1, 8, n, n, n, 32, 32)
+	tf := GrayscaleTransferFunc()
+	count := func(emptySkip bool) uint64 {
+		var sink grid.CountingSink
+		tv := grid.NewTraced(vol, 0, &sink)
+		_, err := RenderViews([]grid.Reader{tv}, cam, tf,
+			Options{EmptySkip: emptySkip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sink.Reads
+	}
+	plain := count(false)
+	skipped := count(true)
+	// The accel build itself reads the whole volume once through the
+	// traced view; subtract that fixed cost for the marching comparison.
+	buildCost := uint64(0)
+	{
+		var sink grid.CountingSink
+		BuildAccel(grid.NewTraced(vol, 0, &sink), 8)
+		buildCost = sink.Reads
+	}
+	if skipped-buildCost >= plain/2 {
+		t.Errorf("empty-skip marching reads %d (plus %d build) vs plain %d: not skipping",
+			skipped-buildCost, buildCost, plain)
+	}
+}
+
+func TestEmptySkipWorkerInvariance(t *testing.T) {
+	const n = 24
+	vol := volume.CombustionPlume(core.NewArrayOrder(n, n, n), 5)
+	cam := Orbit(3, 8, n, n, n, 40, 40)
+	tf := DefaultTransferFunc()
+	ref, err := Render(vol, cam, tf, Options{Workers: 1, EmptySkip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Render(vol, cam, tf, Options{Workers: 5, EmptySkip: true, TileSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(ref, multi) != 0 {
+		t.Error("empty-skip result depends on workers/tiles")
+	}
+}

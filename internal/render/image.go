@@ -1,0 +1,157 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"math"
+	"os"
+)
+
+// Image is a float32 RGBA framebuffer.
+type Image struct {
+	W, H int
+	pix  []RGBA
+}
+
+// NewImage allocates a transparent-black image.
+func NewImage(w, h int) *Image {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("render: image size %dx%d must be positive", w, h))
+	}
+	return &Image{W: w, H: h, pix: make([]RGBA, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) RGBA { return im.pix[y*im.W+x] }
+
+// Set stores the pixel at (x, y).
+func (im *Image) Set(x, y int, c RGBA) { im.pix[y*im.W+x] = c }
+
+// MeanAlpha returns the average alpha over the image: a cheap scalar
+// fingerprint used by tests to confirm a view actually hit the volume.
+func (im *Image) MeanAlpha() float64 {
+	var sum float64
+	for _, p := range im.pix {
+		sum += float64(p.A)
+	}
+	return sum / float64(len(im.pix))
+}
+
+// MaxDiff returns the largest absolute per-channel difference between
+// two images; it panics on size mismatch.
+func MaxDiff(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("render: MaxDiff size mismatch")
+	}
+	var m float64
+	for i := range a.pix {
+		p, q := a.pix[i], b.pix[i]
+		for _, d := range []float64{
+			math.Abs(float64(p.R - q.R)),
+			math.Abs(float64(p.G - q.G)),
+			math.Abs(float64(p.B - q.B)),
+			math.Abs(float64(p.A - q.A)),
+		} {
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// WritePPM writes the image as a binary PPM (P6) over a dark
+// background, clamping and gamma-correcting to 8-bit.
+func (im *Image) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	const bg = 0.02
+	to8 := func(v float32) byte {
+		f := math.Pow(float64(v), 1/2.2)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return byte(f*255 + 0.5)
+	}
+	buf := make([]byte, 0, im.W*3)
+	for y := 0; y < im.H; y++ {
+		buf = buf[:0]
+		for x := 0; x < im.W; x++ {
+			p := im.At(x, y)
+			rem := 1 - p.A
+			buf = append(buf, to8(p.R+rem*bg), to8(p.G+rem*bg), to8(p.B+rem*bg))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePPM writes the image to a file via WritePPM.
+func (im *Image) SavePPM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := im.WritePPM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ToNRGBA converts the framebuffer to an 8-bit stdlib image over a dark
+// background with gamma correction, for PNG export.
+func (im *Image) ToNRGBA() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, im.W, im.H))
+	const bg = 0.02
+	to8 := func(v float32) uint8 {
+		f := math.Pow(float64(v), 1/2.2)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return uint8(f*255 + 0.5)
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			p := im.At(x, y)
+			rem := 1 - p.A
+			i := out.PixOffset(x, y)
+			out.Pix[i+0] = to8(p.R + rem*bg)
+			out.Pix[i+1] = to8(p.G + rem*bg)
+			out.Pix[i+2] = to8(p.B + rem*bg)
+			out.Pix[i+3] = 255
+		}
+	}
+	return out
+}
+
+// WritePNG encodes the image as PNG.
+func (im *Image) WritePNG(w io.Writer) error {
+	return png.Encode(w, im.ToNRGBA())
+}
+
+// SavePNG writes the image to a PNG file.
+func (im *Image) SavePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := im.WritePNG(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

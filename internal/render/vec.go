@@ -1,0 +1,55 @@
+// Package render implements the paper's semi-structured-memory-access
+// kernel: a shared-memory-parallel raycasting volume renderer (§III-B).
+//
+// The renderer is image-order: it casts one perspective ray per output
+// pixel through the 3D volume, samples the scalar field along the ray
+// (trilinear interpolation), maps samples through a transfer function,
+// and composites front-to-back. With perspective projection every ray
+// has a distinct (δx, δy, δz) slope, so the memory access pattern is
+// "semi-structured": predictable along a ray, different across rays —
+// and its alignment with an array-order layout depends entirely on the
+// viewpoint, which is exactly what the paper's orbit experiments vary.
+//
+// Work distribution follows the paper: the image is cut into 32×32
+// tiles served to workers from a dynamic queue (internal/parallel).
+package render
+
+import "math"
+
+// Vec3 is a 3-component double-precision vector.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns |v|.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v/|v|; the zero vector is returned unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}

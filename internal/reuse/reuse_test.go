@@ -1,0 +1,214 @@
+package reuse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sfcmem/internal/cache"
+)
+
+func lineAddr(n uint64) uint64 { return n * 64 }
+
+func TestColdScanAllMisses(t *testing.T) {
+	a := NewAnalyzer(0)
+	for i := uint64(0); i < 1000; i++ {
+		a.Access(lineAddr(i), false)
+	}
+	h := a.Histogram()
+	if h.Cold != 1000 || h.Total != 1000 {
+		t.Errorf("cold=%d total=%d", h.Cold, h.Total)
+	}
+	if mr := h.MissRatio(1 << 20); mr != 1 {
+		t.Errorf("cold scan miss ratio %v, want 1", mr)
+	}
+	if a.Lines() != 1000 {
+		t.Errorf("lines %d", a.Lines())
+	}
+}
+
+func TestRepeatedWorkingSet(t *testing.T) {
+	const ws = 64
+	a := NewAnalyzer(0)
+	for pass := 0; pass < 4; pass++ {
+		for i := uint64(0); i < ws; i++ {
+			a.Access(lineAddr(i), false)
+		}
+	}
+	h := a.Histogram()
+	// Second-pass+ accesses all have distance ws-1 → hit iff C >= ws.
+	if mr := h.MissRatio(ws); mr != float64(ws)/float64(4*ws) {
+		t.Errorf("miss ratio at C=ws: %v, want cold-only %v", mr, 0.25)
+	}
+	if mr := h.MissRatio(ws / 4); mr != 1 {
+		t.Errorf("miss ratio at C=ws/4: %v, want 1 (thrash)", mr)
+	}
+}
+
+func TestImmediateReuseDistanceZero(t *testing.T) {
+	a := NewAnalyzer(0)
+	a.Access(0, false)
+	a.Access(0, false)
+	a.Access(0, true)
+	h := a.Histogram()
+	if h.Buckets[0] != 2 || h.Cold != 1 {
+		t.Errorf("buckets[0]=%d cold=%d", h.Buckets[0], h.Cold)
+	}
+	if mr := h.MissRatio(1); mr != float64(1)/3 {
+		t.Errorf("single-line cache miss ratio %v", mr)
+	}
+}
+
+func TestSubLineAccessesShareLine(t *testing.T) {
+	a := NewAnalyzer(0)
+	a.Access(0, false)
+	a.Access(4, false)  // same 64B line
+	a.Access(63, false) // still same line
+	h := a.Histogram()
+	if h.Cold != 1 || h.Buckets[0] != 2 {
+		t.Errorf("sub-line accesses not coalesced: %+v", h)
+	}
+}
+
+func TestGrowPreservesState(t *testing.T) {
+	a := NewAnalyzer(16) // tiny: forces several grows
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		a.Access(lineAddr(i%512), false)
+	}
+	h := a.Histogram()
+	if h.Total != n {
+		t.Errorf("total %d", h.Total)
+	}
+	if h.Cold != 512 {
+		t.Errorf("cold %d, want 512", h.Cold)
+	}
+	// All non-cold distances are 511 < 512.
+	if mr := h.MissRatio(512); mr != float64(512)/n {
+		t.Errorf("miss ratio %v", mr)
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	a, b := NewAnalyzer(0), NewAnalyzer(0)
+	for i := uint64(0); i < 10; i++ {
+		a.Access(lineAddr(i), false)
+		b.Access(lineAddr(i), false)
+		b.Access(lineAddr(i), false)
+	}
+	ha := a.Histogram()
+	ha.Merge(b.Histogram())
+	if ha.Total != 30 || ha.Cold != 20 || ha.Buckets[0] != 10 {
+		t.Errorf("merged %+v", ha)
+	}
+}
+
+func TestMissRatioEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.MissRatio(64) != 0 {
+		t.Error("empty histogram should predict 0")
+	}
+	h.Total = 10
+	h.Cold = 10
+	if h.MissRatio(0) != 1 {
+		t.Error("zero-size cache should miss always")
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	a := NewAnalyzer(0)
+	// A mix of working sets.
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < 1000; i++ {
+			a.Access(lineAddr(i%97), false)
+			a.Access(lineAddr(i%509), false)
+		}
+	}
+	_, ratios := a.Histogram().Curve(2, 16)
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > ratios[i-1]+1e-12 {
+			t.Fatalf("miss-ratio curve not monotone: %v", ratios)
+		}
+	}
+}
+
+// Cross-validation against the cache simulator: for a fully-associative
+// LRU cache, predicted misses from the reuse profile must match the
+// simulated misses exactly (Mattson's inclusion property).
+func TestMatchesFullyAssociativeSimulation(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		const lines = 64 // fully-assoc cache of 64 lines
+		p := cache.Platform{
+			Name:    "fa",
+			Private: []cache.LevelConfig{{Name: "L1", SizeBytes: lines * 64, Ways: lines}},
+		}
+		sys := cache.NewSystem(p, 1)
+		fr := sys.Front(0)
+		an := NewAnalyzer(0)
+		for i, s := range seeds {
+			// A structured-ish stream: mix of strides and revisits.
+			addr := lineAddr(uint64(s) % 300)
+			if i%3 == 0 {
+				addr = lineAddr(uint64(i) % 50)
+			}
+			fr.Access(addr, false)
+			an.Access(addr, false)
+		}
+		simMisses := sys.Report().PrivateTotal[0].Misses
+		h := an.Histogram()
+		predicted := h.MissRatio(lines) * float64(h.Total)
+		return uint64(predicted+0.5) == simMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int32]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1023: 10, 1024: 11}
+	for d, want := range cases {
+		if got := bucketOf(d); got != want {
+			t.Errorf("bucketOf(%d)=%d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	a := NewAnalyzer(0)
+	for i := uint64(0); i < 100; i++ {
+		a.Access(lineAddr(i%10), false)
+	}
+	s := a.Histogram().String()
+	if len(s) == 0 || s[0] != 'r' {
+		t.Errorf("unexpected render %q", s)
+	}
+}
+
+func BenchmarkAnalyzerAccess(b *testing.B) {
+	a := NewAnalyzer(b.N)
+	for i := 0; i < b.N; i++ {
+		a.Access(lineAddr(uint64(i)%4096), false)
+	}
+}
+
+func TestCurveBounds(t *testing.T) {
+	a := NewAnalyzer(0)
+	for i := uint64(0); i < 200; i++ {
+		a.Access(lineAddr(i%50), false)
+	}
+	sizes, ratios := a.Histogram().Curve(0, 8)
+	if len(sizes) != 9 || sizes[0] != 1 || sizes[8] != 256 {
+		t.Fatalf("sizes %v", sizes)
+	}
+	for i, r := range ratios {
+		if r < 0 || r > 1 {
+			t.Errorf("ratio[%d]=%v out of [0,1]", i, r)
+		}
+	}
+	// Big-cache limit: only cold misses remain.
+	if got, want := ratios[8], 50.0/200.0; got != want {
+		t.Errorf("large-cache ratio %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace records memory-access streams to a compact binary
+// format and replays them later. This decouples trace collection (run
+// the kernel once, with a trace writer attached as its grid.Sink) from
+// analysis (replay the file through any number of simulated cache
+// platforms or the reuse-distance analyzer) — the standard trace-driven
+// methodology behind the paper's counter measurements, made persistent.
+//
+// Format: an 8-byte header ("SFCTRC" magic + version), then one varint
+// record per access holding the zigzag-encoded address delta from the
+// previous access and the read/write flag in the low bit. Addresses
+// live in a 63-bit space (the top bit is reclaimed for the flag;
+// simulated address spaces are nowhere near the limit). Structured-grid
+// streams have small deltas, so traces compress to a couple of bytes
+// per access.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// magic identifies trace files; the final byte is the format version.
+var magic = [8]byte{'S', 'F', 'C', 'T', 'R', 'C', 0, 1}
+
+// Sink matches grid.Sink (redeclared to avoid a dependency cycle:
+// grid's traced views feed trace writers, never the reverse).
+type Sink interface {
+	Access(addr uint64, write bool)
+}
+
+// Writer streams accesses to an io.Writer in trace format. It implements
+// Sink, so it can be attached directly to a grid's traced view. Because
+// Sink's Access cannot return an error, I/O errors are latched and
+// surfaced by Flush (and every subsequent Access becomes a no-op).
+type Writer struct {
+	bw    *bufio.Writer
+	last  uint64
+	count uint64
+	err   error
+	buf   [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header and returns a trace writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// addrMask truncates addresses to the format's 63-bit space.
+const addrMask = 1<<63 - 1
+
+// Access appends one record. Addresses are truncated to 63 bits.
+func (t *Writer) Access(addr uint64, write bool) {
+	if t.err != nil {
+		return
+	}
+	addr &= addrMask
+	delta := signExtend63((addr - t.last) & addrMask)
+	t.last = addr
+	val := zigzag(delta) << 1
+	if write {
+		val |= 1
+	}
+	n := binary.PutUvarint(t.buf[:], val)
+	if _, err := t.bw.Write(t.buf[:n]); err != nil {
+		t.err = err
+		return
+	}
+	t.count++
+}
+
+// Count returns the number of accesses recorded so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush drains buffered records and reports any latched write error.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return fmt.Errorf("trace: %w", t.err)
+	}
+	if err := t.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Replay reads a trace and delivers every access to sink, returning the
+// number of accesses replayed.
+func Replay(r io.Reader, sink Sink) (uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return 0, fmt.Errorf("trace: bad magic %q (not a trace file or wrong version)", hdr[:])
+	}
+	var addr uint64
+	var n uint64
+	for {
+		val, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("trace: record %d: %w", n, err)
+		}
+		write := val&1 == 1
+		addr = (addr + uint64(unzigzag(val>>1))) & addrMask
+		sink.Access(addr, write)
+		n++
+	}
+}
+
+// MultiSink fans one access stream out to several sinks (e.g. a cache
+// front and a reuse analyzer in one replay pass).
+type MultiSink []Sink
+
+// Access forwards to every sink in order.
+func (m MultiSink) Access(addr uint64, write bool) {
+	for _, s := range m {
+		s.Access(addr, write)
+	}
+}
+
+// signExtend63 reinterprets a 63-bit two's-complement value as int64,
+// mapping the wrapped difference of two 63-bit addresses onto
+// [-2^62, 2^62) so its zigzag encoding fits below bit 63.
+func signExtend63(d uint64) int64 {
+	if d&(1<<62) != 0 {
+		return int64(d | 1<<63)
+	}
+	return int64(d)
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sfcmem/internal/cache"
+)
+
+type recorded struct {
+	addr  uint64
+	write bool
+}
+
+type recordSink []recorded
+
+func (r *recordSink) Access(addr uint64, write bool) {
+	*r = append(*r, recorded{addr, write})
+}
+
+func TestRoundtrip(t *testing.T) {
+	f := func(addrs []uint64, writes []bool) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		var want recordSink
+		for i, a := range addrs {
+			a &= 1<<63 - 1 // the format's 63-bit address space
+			wr := i < len(writes) && writes[i]
+			w.Access(a, wr)
+			want = append(want, recorded{a, wr})
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		if w.Count() != uint64(len(addrs)) {
+			return false
+		}
+		var got recordSink
+		n, err := Replay(&buf, &got)
+		if err != nil || n != uint64(len(addrs)) {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactEncodingForLocalStreams(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		w.Access(i*4, false) // sequential float32 scan
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perAccess := float64(buf.Len()-8) / n
+	if perAccess > 1.01 {
+		t.Errorf("sequential trace costs %.2f bytes/access, want ~1", perAccess)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	var sink recordSink
+	if _, err := Replay(bytes.NewReader([]byte("NOTATRACEFILE")), &sink); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Replay(bytes.NewReader(nil), &sink); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Access(1<<40, true) // multi-byte varint
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	var sink recordSink
+	if _, err := Replay(bytes.NewReader(full[:len(full)-1]), &sink); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorLatched(t *testing.T) {
+	w, err := NewWriter(&failWriter{after: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<17; i++ { // exceed the 64KB buffer to force a write
+		w.Access(uint64(i)*1e9, false)
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("write error not surfaced by Flush")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b recordSink
+	m := MultiSink{&a, &b}
+	m.Access(42, true)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("fan-out broken: %v %v", a, b)
+	}
+}
+
+// Replaying a recorded trace through the cache simulator must produce
+// the same counters as feeding it live.
+func TestReplayEquivalentToLive(t *testing.T) {
+	stream := func(s Sink) {
+		for i := uint64(0); i < 5000; i++ {
+			s.Access((i*7919)%100000*64, i%5 == 0)
+		}
+	}
+	p := cache.Platform{
+		Name:    "t",
+		Private: []cache.LevelConfig{{Name: "L1", SizeBytes: 8 << 10, Ways: 4}},
+	}
+	live := cache.NewSystem(p, 1)
+	stream(live.Front(0))
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := cache.NewSystem(p, 1)
+	if _, err := Replay(&buf, replayed.Front(0)); err != nil {
+		t.Fatal(err)
+	}
+	if live.Report().PrivateTotal[0] != replayed.Report().PrivateTotal[0] {
+		t.Errorf("replayed counters diverge:\nlive %+v\nrepl %+v",
+			live.Report().PrivateTotal[0], replayed.Report().PrivateTotal[0])
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), 1<<62 - 1, -1 << 62} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag roundtrip %d -> %d", v, got)
+		}
+	}
+}
+
+func BenchmarkWriterAccess(b *testing.B) {
+	w, err := NewWriter(&bytes.Buffer{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		w.Access(uint64(i)*64, false)
+	}
+}

@@ -1,0 +1,120 @@
+// Package tune implements empirical parameter search ("auto-tuning") for
+// the layouts' blocking factors, in the spirit of the auto-tuning work
+// the paper cites as prior art for cache blocking (Whaley/ATLAS 2001,
+// Datta 2008, §II-A): instead of modeling the memory hierarchy, measure
+// candidate parameters and keep the best.
+//
+// Here the measurement is the deterministic cache simulator, so tuning
+// results are reproducible and hardware-independent: TileSize finds the
+// best Tiled layout tile edge and BrickSize the best ZTiled brick edge
+// for a given kernel configuration and simulated platform.
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"sfcmem/internal/cache"
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/volume"
+)
+
+// Result records one candidate's evaluation.
+type Result struct {
+	Param int
+	Score float64 // lower is better
+}
+
+// Sweep evaluates eval for every candidate and returns the parameter
+// with the lowest score plus all results in input order. It fails if
+// params is empty or any evaluation fails.
+func Sweep(params []int, eval func(p int) (float64, error)) (best int, results []Result, err error) {
+	if len(params) == 0 {
+		return 0, nil, fmt.Errorf("tune: no candidate parameters")
+	}
+	bestScore := math.Inf(1)
+	for _, p := range params {
+		score, err := eval(p)
+		if err != nil {
+			return 0, nil, fmt.Errorf("tune: candidate %d: %w", p, err)
+		}
+		results = append(results, Result{Param: p, Score: score})
+		if score < bestScore {
+			bestScore, best = score, p
+		}
+	}
+	return best, results, nil
+}
+
+// FilterConfig fixes the kernel configuration a layout parameter is
+// tuned for.
+type FilterConfig struct {
+	Size     int // volume edge
+	Seed     uint64
+	Options  filter.Options // Workers also sets the simulated thread count
+	Platform cache.Platform
+}
+
+// simFilter replays the bilateral filter over src's layout through the
+// platform and returns the paper metric.
+func simFilter(cfg FilterConfig, layout core.Layout) (uint64, error) {
+	threads := cfg.Options.Workers
+	if threads == 0 {
+		threads = 1
+	}
+	src := volume.MRIPhantom(layout, cfg.Seed, 0.05)
+	nx, ny, nz := layout.Dims()
+	dstLayout := core.New(core.ArrayKind, nx, ny, nz) // dst layout held fixed across candidates
+	dst := grid.New(dstLayout)
+	sys := cache.NewSystem(cfg.Platform, threads)
+	srcs := make([]grid.Reader, threads)
+	dsts := make([]grid.Writer, threads)
+	for w := 0; w < threads; w++ {
+		srcs[w] = grid.NewTraced(src, 0, sys.Front(w))
+		dsts[w] = grid.NewTraced(dst, 1<<40, sys.Front(w))
+	}
+	if err := filter.ApplyViews(srcs, dsts, cfg.Options); err != nil {
+		return 0, err
+	}
+	return sys.Report().PaperMetric(), nil
+}
+
+// TileSize tunes the Tiled layout's tile edge over the candidates
+// (default {2,4,8,16,32} when nil), scoring each by the simulated paper
+// counter for the configured filter run. Candidates larger than the
+// volume edge are skipped.
+func TileSize(cfg FilterConfig, candidates []int) (best int, results []Result, err error) {
+	if candidates == nil {
+		candidates = []int{2, 4, 8, 16, 32}
+	}
+	valid := candidates[:0:0]
+	for _, c := range candidates {
+		if c >= 1 && c <= cfg.Size {
+			valid = append(valid, c)
+		}
+	}
+	return Sweep(valid, func(tile int) (float64, error) {
+		m, err := simFilter(cfg, core.NewTiled(cfg.Size, cfg.Size, cfg.Size, tile))
+		return float64(m), err
+	})
+}
+
+// BrickSize tunes the ZTiled layout's brick edge over power-of-two
+// candidates (default {4,8,16,32} when nil).
+func BrickSize(cfg FilterConfig, candidates []int) (best int, results []Result, err error) {
+	if candidates == nil {
+		candidates = []int{4, 8, 16, 32}
+	}
+	valid := candidates[:0:0]
+	for _, c := range candidates {
+		if c >= 1 && c <= cfg.Size && c&(c-1) == 0 {
+			valid = append(valid, c)
+		}
+	}
+	return Sweep(valid, func(brick int) (float64, error) {
+		m, err := simFilter(cfg, core.NewZTiled(cfg.Size, cfg.Size, cfg.Size, brick))
+		return float64(m), err
+	})
+}

@@ -1,0 +1,116 @@
+package tune
+
+import (
+	"errors"
+	"testing"
+
+	"sfcmem/internal/cache"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/parallel"
+)
+
+func TestSweepPicksMinimum(t *testing.T) {
+	scores := map[int]float64{2: 5, 4: 1, 8: 3}
+	best, results, err := Sweep([]int{2, 4, 8}, func(p int) (float64, error) {
+		return scores[p], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 4 {
+		t.Errorf("best = %d, want 4", best)
+	}
+	if len(results) != 3 || results[1].Score != 1 {
+		t.Errorf("results %+v", results)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if _, _, err := Sweep(nil, func(int) (float64, error) { return 0, nil }); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := Sweep([]int{1}, func(int) (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func testConfig() FilterConfig {
+	return FilterConfig{
+		Size: 24,
+		Seed: 1,
+		Options: filter.Options{
+			Radius: 1, Axis: parallel.AxisZ, Order: filter.ZYX, Workers: 2,
+		},
+		Platform: cache.Scaled(cache.IvyBridge(), 32),
+	}
+}
+
+func TestTileSizeReturnsCandidate(t *testing.T) {
+	best, results, err := TileSize(testConfig(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 4 && best != 8 {
+		t.Errorf("best tile %d not among candidates", best)
+	}
+	if len(results) != 2 {
+		t.Errorf("%d results", len(results))
+	}
+	for _, r := range results {
+		if r.Score <= 0 {
+			t.Errorf("candidate %d scored %v", r.Param, r.Score)
+		}
+	}
+}
+
+func TestTileSizeSkipsOversized(t *testing.T) {
+	_, results, err := TileSize(testConfig(), []int{8, 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Param != 8 {
+		t.Errorf("oversized candidate not skipped: %+v", results)
+	}
+}
+
+func TestTileSizeDeterministic(t *testing.T) {
+	b1, r1, err := TileSize(testConfig(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, r2, err := TileSize(testConfig(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 || r1[0].Score != r2[0].Score || r1[1].Score != r2[1].Score {
+		t.Errorf("tuning not deterministic: %v/%v vs %v/%v", b1, r1, b2, r2)
+	}
+}
+
+func TestBrickSizeFiltersNonPow2(t *testing.T) {
+	best, results, err := BrickSize(testConfig(), []int{3, 4, 8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Errorf("non-pow2 candidates not filtered: %+v", results)
+	}
+	if best != 4 && best != 8 {
+		t.Errorf("best brick %d", best)
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	cfg := testConfig()
+	if _, results, err := TileSize(cfg, nil); err != nil || len(results) == 0 {
+		t.Errorf("default tile sweep: %v, %d results", err, len(results))
+	}
+	if _, results, err := BrickSize(cfg, nil); err != nil || len(results) == 0 {
+		t.Errorf("default brick sweep: %v, %d results", err, len(results))
+	}
+}

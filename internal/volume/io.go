@@ -1,0 +1,90 @@
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/grid"
+)
+
+// Raw volume I/O: the interchange format of the paper's datasets (and
+// most scientific-visualization corpora) is a headerless stream of
+// little-endian 4-byte floats in row-major order. SaveRaw/LoadRaw read
+// and write that format regardless of the in-memory layout, so users can
+// drop in a real MRI or simulation volume in place of the synthetic
+// stand-ins.
+
+// SaveRaw writes g as little-endian float32 in row-major (x fastest)
+// order, whatever g's in-memory layout is.
+func SaveRaw(w io.Writer, g *grid.Grid) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	nx, ny, nz := g.Dims()
+	var buf [4]byte
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				bits := floatBits(g.At(i, j, k))
+				binary.LittleEndian.PutUint32(buf[:], bits)
+				if _, err := bw.Write(buf[:]); err != nil {
+					return fmt.Errorf("volume: writing raw: %w", err)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadRaw reads an nx×ny×nz little-endian float32 row-major volume into
+// a grid under the given layout. It fails if the stream ends early and
+// reports an error if trailing bytes remain (size mismatch).
+func LoadRaw(r io.Reader, l core.Layout) (*grid.Grid, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	g := grid.New(l)
+	nx, ny, nz := l.Dims()
+	var buf [4]byte
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, fmt.Errorf("volume: raw stream truncated at (%d,%d,%d): %w", i, j, k, err)
+				}
+				g.Set(i, j, k, floatFromBits(binary.LittleEndian.Uint32(buf[:])))
+			}
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("volume: raw stream has trailing bytes (extents mismatch?)")
+	}
+	return g, nil
+}
+
+// SaveRawFile writes g to a file via SaveRaw.
+func SaveRawFile(path string, g *grid.Grid) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveRaw(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRawFile reads a raw volume file via LoadRaw.
+func LoadRawFile(path string, l core.Layout) (*grid.Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadRaw(f, l)
+}
+
+func floatBits(f float32) uint32     { return math.Float32bits(f) }
+func floatFromBits(b uint32) float32 { return math.Float32frombits(b) }

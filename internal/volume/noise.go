@@ -1,0 +1,59 @@
+package volume
+
+// ValueNoise evaluates smooth lattice value noise at a continuous
+// position: trilinear interpolation of hashed lattice values with a
+// smoothstep fade, giving band-limited structure without any stored
+// tables.
+func ValueNoise(x, y, z float64, seed uint64) float32 {
+	xi, yi, zi := floorInt(x), floorInt(y), floorInt(z)
+	fx := smooth(x - float64(xi))
+	fy := smooth(y - float64(yi))
+	fz := smooth(z - float64(zi))
+
+	c000 := hash3(xi, yi, zi, seed)
+	c100 := hash3(xi+1, yi, zi, seed)
+	c010 := hash3(xi, yi+1, zi, seed)
+	c110 := hash3(xi+1, yi+1, zi, seed)
+	c001 := hash3(xi, yi, zi+1, seed)
+	c101 := hash3(xi+1, yi, zi+1, seed)
+	c011 := hash3(xi, yi+1, zi+1, seed)
+	c111 := hash3(xi+1, yi+1, zi+1, seed)
+
+	c00 := lerp(c000, c100, fx)
+	c10 := lerp(c010, c110, fx)
+	c01 := lerp(c001, c101, fx)
+	c11 := lerp(c011, c111, fx)
+	c0 := lerp(c00, c10, fy)
+	c1 := lerp(c01, c11, fy)
+	return lerp(c0, c1, fz)
+}
+
+// FBM sums octaves of ValueNoise with persistence 0.5, producing the
+// multi-scale "turbulence" look used by the combustion plume. The result
+// stays in [0,1).
+func FBM(x, y, z float64, octaves int, seed uint64) float32 {
+	var sum, norm float32
+	amp := float32(1)
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * ValueNoise(x*freq, y*freq, z*freq, seed+uint64(o)*0x9e37)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}
+
+func floorInt(v float64) int {
+	i := int(v)
+	if float64(i) > v {
+		i--
+	}
+	return i
+}
+
+func lerp(a, b, t float32) float32 { return a + (b-a)*t }
+
+func smooth(t float64) float32 {
+	return float32(t * t * (3 - 2*t))
+}

@@ -1,0 +1,65 @@
+// Package volume generates the synthetic 3D datasets the experiments
+// run on. The paper used a 512³ MRI scan (bilateral filter) and a 512³
+// combustion-simulation field (volume renderer); neither is available,
+// so this package builds deterministic stand-ins with the properties the
+// kernels actually exercise: realistic edges plus noise for the filter's
+// photometric term, and empty-space/dense-core structure for the
+// renderer's transfer function. See DESIGN.md §2 for the substitution
+// rationale.
+package volume
+
+// RNG is a small, deterministic xorshift64* generator. Experiments must
+// be reproducible run-to-run and independent of math/rand changes, so
+// the generators here use this fixed algorithm.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (zero is remapped, since
+// xorshift has an all-zero fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float32 returns a uniform value in [0,1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Normal returns an approximately standard-normal value using the sum of
+// twelve uniforms (Irwin–Hall); plenty for synthetic measurement noise.
+func (r *RNG) Normal() float32 {
+	var s float32
+	for i := 0; i < 12; i++ {
+		s += r.Float32()
+	}
+	return s - 6
+}
+
+// hash3 maps a lattice point and seed to a deterministic uniform in
+// [0,1), for value-noise generation without storing a lattice.
+func hash3(x, y, z int, seed uint64) float32 {
+	h := seed
+	h ^= uint64(uint32(x)) * 0x9e3779b185ebca87
+	h = (h << 31) | (h >> 33)
+	h ^= uint64(uint32(y)) * 0xc2b2ae3d27d4eb4f
+	h = (h << 29) | (h >> 35)
+	h ^= uint64(uint32(z)) * 0x165667b19e3779f9
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float32(h>>40) / float32(1<<24)
+}
