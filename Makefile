@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures figures-quick cover race clean
+.PHONY: all check build test vet bench figures figures-quick cover race clean
 
-all: build test
+all: check
+
+# Full pre-merge gate: compile, vet, unit tests, race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...

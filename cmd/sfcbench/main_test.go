@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +11,180 @@ import (
 	"sfcmem/internal/harness"
 	"sfcmem/internal/stats"
 )
+
+// micro shrinks every dimension below even -quick so CLI tests finish in
+// well under a second per run.
+var micro = []string{
+	"-quick",
+	"-bilat-size", "16", "-bilat-sim-size", "16",
+	"-vol-size", "16", "-vol-sim-size", "16",
+	"-image", "16", "-sim-image", "16",
+	"-ivy-threads", "2", "-mic-threads", "2",
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "11"},
+		{"-fig", "-1"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+		if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "flag") {
+			t.Errorf("%v: stderr lacks usage: %q", args, stderr)
+		}
+	}
+}
+
+func TestRunUnwritableOutputs(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A path through a regular file is unwritable for both plain files
+	// (-out and friends) and directories (-csv, whose MkdirAll would
+	// happily create missing parents).
+	bad := filepath.Join(blocker, "x")
+	for _, flagName := range []string{"-out", "-csv", "-metrics-json", "-timeline"} {
+		args := append([]string{"-fig", "1", flagName, bad}, micro...)
+		code, _, stderr := runCLI(t, args...)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1 (stderr %q)", flagName, code, stderr)
+		}
+		if !strings.Contains(stderr, "sfcbench:") {
+			t.Errorf("%s: stderr %q lacks error prefix", flagName, stderr)
+		}
+	}
+}
+
+func TestRunBadThreadSweep(t *testing.T) {
+	code, _, stderr := runCLI(t, "-fig", "1", "-ivy-threads", "2,zero")
+	if code != 1 || !strings.Contains(stderr, "bad thread count") {
+		t.Errorf("exit %d stderr %q", code, stderr)
+	}
+}
+
+// The ISSUE acceptance command: a quick fig-1 run with both
+// observability sinks must emit a parseable manifest and a Chrome trace
+// with at least one complete event per worker lane.
+func TestRunQuickFig1MetricsAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "out.json")
+	tracePath := filepath.Join(dir, "tl.json")
+	args := append([]string{"-fig", "1", "-metrics-json", manifestPath, "-timeline", tracePath}, micro...)
+	code, stdout, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Fig 1a") {
+		t.Errorf("stdout lacks fig1 table:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "fig1 done in") {
+		t.Errorf("stderr lacks pacing line: %q", stderr)
+	}
+
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m harness.RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m.Schema != harness.ManifestSchema {
+		t.Errorf("schema %q", m.Schema)
+	}
+	if m.Host.NumCPU < 1 || m.Host.GoVersion == "" {
+		t.Errorf("host info %+v", m.Host)
+	}
+	if m.Config.BilatSize != 16 {
+		t.Errorf("config not captured: %+v", m.Config)
+	}
+	if len(m.Figures) != 1 || m.Figures[0].Name != "fig1" {
+		t.Fatalf("figures %+v", m.Figures)
+	}
+	if len(m.Figures[0].Cells) == 0 {
+		t.Error("fig1 recorded no cells")
+	}
+	for _, c := range m.Figures[0].Cells {
+		if c.Kernel == "stride" && c.RuntimeA <= 0 {
+			t.Errorf("cell %+v has no wall-clock entry", c)
+		}
+	}
+
+	tr, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr, &doc); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	lanes := map[int]int{}
+	workers := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			lanes[ev.Tid]++
+			workers[ev.Tid] = true
+		}
+	}
+	if len(workers) < 2 {
+		t.Errorf("trace covers %d worker lanes, want >= 2", len(workers))
+	}
+	for w := range workers {
+		if lanes[w] == 0 {
+			t.Errorf("lane %d has no X events", w)
+		}
+	}
+}
+
+func TestRunPprofFlag(t *testing.T) {
+	// Unresolvable listen address fails fast.
+	code, _, stderr := runCLI(t, append([]string{"-fig", "1", "-pprof", "256.256.256.256:0"}, micro...)...)
+	if code != 1 || !strings.Contains(stderr, "sfcbench:") {
+		t.Errorf("bad pprof addr: exit %d stderr %q", code, stderr)
+	}
+	// A real ephemeral listener serves for the duration of the run.
+	code, _, stderr = runCLI(t, append([]string{"-fig", "1", "-pprof", "127.0.0.1:0"}, micro...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "/debug/pprof/") {
+		t.Errorf("stderr lacks pprof banner: %q", stderr)
+	}
+}
+
+func TestRunWritesOutAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "results.txt")
+	csvDir := filepath.Join(dir, "csv")
+	args := append([]string{"-fig", "1", "-out", outPath, "-csv", csvDir}, micro...)
+	if code, _, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if data, err := os.ReadFile(outPath); err != nil || !strings.Contains(string(data), "Fig 1a") {
+		t.Errorf("out file: %v, %q", err, data)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "fig1_0.csv")); err != nil {
+		t.Error(err)
+	}
+}
 
 func TestParseThreads(t *testing.T) {
 	def := []int{1, 2}

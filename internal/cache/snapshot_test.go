@@ -1,0 +1,47 @@
+package cache
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestReportSnapshot(t *testing.T) {
+	sys := NewSystem(IvyBridge(), 2)
+	// Touch a few distinct lines from both fronts, with one write.
+	for i := uint64(0); i < 100; i++ {
+		sys.Front(0).Access(i*64, false)
+		sys.Front(1).Access(1<<20+i*64, i%2 == 0)
+	}
+	rep := sys.Report()
+	snap := rep.Snapshot()
+
+	if snap["l1.accesses"] != rep.PrivateTotal[0].Accesses || snap["l1.accesses"] == 0 {
+		t.Errorf("l1.accesses %d vs %d", snap["l1.accesses"], rep.PrivateTotal[0].Accesses)
+	}
+	if snap["llc.accesses"] != rep.Shared.Accesses {
+		t.Errorf("llc.accesses %d vs %d", snap["llc.accesses"], rep.Shared.Accesses)
+	}
+	if snap["paper_metric"] != rep.PaperMetric() {
+		t.Errorf("paper_metric %d vs %d", snap["paper_metric"], rep.PaperMetric())
+	}
+	if snap["mem.reads"] != rep.MemReads {
+		t.Errorf("mem.reads %d vs %d", snap["mem.reads"], rep.MemReads)
+	}
+	// The snapshot must be JSON-marshalable (manifest export path).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// MIC has no shared level: no llc.* keys, paper metric = L2 read misses.
+	micSys := NewSystem(MIC(), 1)
+	for i := uint64(0); i < 50; i++ {
+		micSys.Front(0).Access(i*64, false)
+	}
+	micSnap := micSys.Report().Snapshot()
+	if _, ok := micSnap["llc.accesses"]; ok {
+		t.Error("MIC snapshot has llc keys")
+	}
+	if micSnap["paper_metric"] != micSys.Report().PaperMetric() {
+		t.Error("MIC paper_metric mismatch")
+	}
+}

@@ -294,6 +294,44 @@ func (r Report) MetricName() string {
 	return "L2_DATA_READ_MISS"
 }
 
+// Snapshot flattens the report into a stable name → value map for
+// machine-readable export (run manifests, expvar). Keys are "l1.*" ..
+// "lN.*" for private levels, "llc.*" for the shared level, "tlb.*",
+// "mem.reads"/"mem.writes", "prefetches", and the platform's paper
+// counter under "paper_metric".
+func (r Report) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	put := func(prefix string, c Counters) {
+		out[prefix+".accesses"] = c.Accesses
+		out[prefix+".reads"] = c.Reads
+		out[prefix+".writes"] = c.Writes
+		out[prefix+".hits"] = c.Hits
+		out[prefix+".misses"] = c.Misses
+		out[prefix+".read_misses"] = c.ReadMisses
+		out[prefix+".write_misses"] = c.WriteMisses
+		out[prefix+".evictions"] = c.Evictions
+		out[prefix+".writebacks_in"] = c.WritebacksIn
+	}
+	for i, c := range r.PrivateTotal {
+		put(fmt.Sprintf("l%d", i+1), c)
+	}
+	if r.HasShared {
+		put("llc", r.Shared)
+	}
+	if r.TLB.Accesses > 0 {
+		out["tlb.accesses"] = r.TLB.Accesses
+		out["tlb.hits"] = r.TLB.Hits
+		out["tlb.misses"] = r.TLB.Misses
+	}
+	if r.Prefetches > 0 {
+		out["prefetches"] = r.Prefetches
+	}
+	out["mem.reads"] = r.MemReads
+	out["mem.writes"] = r.MemWrites
+	out["paper_metric"] = r.PaperMetric()
+	return out
+}
+
 // String renders a compact human-readable report.
 func (r Report) String() string {
 	out := fmt.Sprintf("platform %s (%d cores)\n", r.Platform, len(r.PerCore))

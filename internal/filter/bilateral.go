@@ -75,6 +75,12 @@ type Options struct {
 	Order Order
 	// Workers is the number of concurrent workers; zero defaults to 1.
 	Workers int
+	// Stats, if non-nil, receives per-worker scheduling statistics
+	// (item counts, busy time) for the round-robin pencil handout.
+	Stats *parallel.Stats
+	// Observer, if non-nil, is called once per completed pencil with the
+	// worker, pencil index, and timing. Enables timeline recording.
+	Observer parallel.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -267,14 +273,22 @@ func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
 	k := newKernel(o)
 	pencils := parallel.PencilCount(nx, ny, nz, o.Axis)
 	di, dj, dk := parallel.PencilStep(o.Axis)
-	parallel.RoundRobin(pencils, o.Workers, func(w, p int) {
+	pencil := func(w, p int) {
 		src, dst := srcs[w], dsts[w]
 		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
 		for s := 0; s < length; s++ {
 			dst.Set(i, j, kk, k.voxel(src, i, j, kk))
 			i, j, kk = i+di, j+dj, kk+dk
 		}
-	})
+	}
+	if o.Stats != nil || o.Observer != nil {
+		st := parallel.RoundRobinInstrumented(pencils, o.Workers, pencil, o.Observer)
+		if o.Stats != nil {
+			*o.Stats = st
+		}
+	} else {
+		parallel.RoundRobin(pencils, o.Workers, pencil)
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"sfcmem/internal/core"
 	"sfcmem/internal/filter"
 	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
 	"sfcmem/internal/volume"
 )
 
@@ -57,11 +58,21 @@ func NewBilatInput(size int, seed uint64) *BilatInput {
 // TimeBilat measures wall-clock runtime of one bilateral-filter run
 // under the given layout.
 func TimeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int) (time.Duration, error) {
+	return timeBilat(in, kind, row, threads, nil, nil)
+}
+
+// timeBilat is TimeBilat with optional scheduling instrumentation: st
+// receives the round-robin per-worker stats, obs each completed pencil.
+func timeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
+	st *parallel.Stats, obs parallel.Observer) (time.Duration, error) {
 	src := in.Src[kind]
 	nx, ny, nz := src.Dims()
 	dst := grid.New(core.New(kind, nx, ny, nz))
+	o := row.options(threads)
+	o.Stats = st
+	o.Observer = obs
 	start := time.Now()
-	if err := filter.Apply(src, dst, row.options(threads)); err != nil {
+	if err := filter.Apply(src, dst, o); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil
@@ -72,6 +83,13 @@ func TimeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int) (time.
 // platform's paper counter (PAPI_L3_TCA-like or L2_DATA_READ_MISS-like)
 // and the full report.
 func SimBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int, platform cache.Platform) (uint64, cache.Report, error) {
+	return simBilat(in, kind, row, threads, platform, nil)
+}
+
+// simBilat is SimBilat with optional replay-chunk observation (each
+// pencil replayed through the simulated caches becomes a timeline span).
+func simBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
+	platform cache.Platform, obs parallel.Observer) (uint64, cache.Report, error) {
 	src := in.Src[kind]
 	nx, ny, nz := src.Dims()
 	dst := grid.New(core.New(kind, nx, ny, nz))
@@ -83,7 +101,9 @@ func SimBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int, platfor
 		srcs[w] = grid.NewTraced(src, 0, front)
 		dsts[w] = grid.NewTraced(dst, dstBase, front)
 	}
-	if err := filter.ApplyViews(srcs, dsts, row.options(threads)); err != nil {
+	o := row.options(threads)
+	o.Observer = obs
+	if err := filter.ApplyViews(srcs, dsts, o); err != nil {
 		return 0, cache.Report{}, err
 	}
 	rep := sys.Report()
@@ -91,42 +111,60 @@ func SimBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int, platfor
 }
 
 // Cell holds one configuration's measurements under both layouts, the
-// unit the ds tables are computed from.
+// unit the ds tables are computed from. The imbalance factors are
+// per-worker max/mean busy time from the final instrumented wall-clock
+// repetition (zero when the run was not instrumented).
 type Cell struct {
-	RuntimeA, RuntimeZ time.Duration
-	MetricA, MetricZ   uint64
+	RuntimeA, RuntimeZ     time.Duration
+	MetricA, MetricZ       uint64
+	ImbalanceA, ImbalanceZ float64
 }
 
 // measurePair times one configuration under array order and Z order with
 // the repetitions interleaved (a, z, a, z, ...), keeping each layout's
 // minimum. Interleaving cancels slow host drift (thermal, noisy
-// neighbors) that would otherwise bias whichever layout ran last.
-func measureBilatPair(wall *BilatInput, row BilatRow, threads, reps int) (a, z time.Duration, err error) {
-	a, z = time.Duration(1<<63-1), time.Duration(1<<63-1)
+// neighbors) that would otherwise bias whichever layout ran last. With
+// instruments attached, the runs also report per-worker scheduling
+// stats and pencil spans.
+func measureBilatPair(wall *BilatInput, row BilatRow, threads, reps int,
+	ins *Instruments) (c Cell, err error) {
+	c.RuntimeA, c.RuntimeZ = time.Duration(1<<63-1), time.Duration(1<<63-1)
 	if reps < 1 {
 		reps = 1
 	}
-	for rep := 0; rep < reps; rep++ {
-		ta, err := TimeBilat(wall, core.ArrayKind, row, threads)
-		if err != nil {
-			return 0, 0, err
-		}
-		tz, err := TimeBilat(wall, core.ZKind, row, threads)
-		if err != nil {
-			return 0, 0, err
-		}
-		a = minDuration(a, ta)
-		z = minDuration(z, tz)
+	var stA, stZ *parallel.Stats
+	var obsA, obsZ parallel.Observer
+	if ins.active() {
+		stA, stZ = &parallel.Stats{}, &parallel.Stats{}
+		obsA = ins.Observer(spanName("bilat", "a", row.Label))
+		obsZ = ins.Observer(spanName("bilat", "z", row.Label))
 	}
-	return a, z, nil
+	for rep := 0; rep < reps; rep++ {
+		ta, err := timeBilat(wall, core.ArrayKind, row, threads, stA, obsA)
+		if err != nil {
+			return Cell{}, err
+		}
+		tz, err := timeBilat(wall, core.ZKind, row, threads, stZ, obsZ)
+		if err != nil {
+			return Cell{}, err
+		}
+		c.RuntimeA = minDuration(c.RuntimeA, ta)
+		c.RuntimeZ = minDuration(c.RuntimeZ, tz)
+	}
+	if stA != nil {
+		c.ImbalanceA = stA.ImbalanceFactor()
+		c.ImbalanceZ = stZ.ImbalanceFactor()
+	}
+	return c, nil
 }
 
 // RunBilatGrid measures the full (rows × threads) grid: interleaved
 // wall-clock on the wall-clock volume, simulated counters on the sim
 // volume, both layouts per cell. progress, if non-nil, is called before
-// each cell.
+// each cell; ins, if non-nil, receives cell records, cache reports, and
+// timeline spans.
 func RunBilatGrid(cfg Config, threadList []int, platform cache.Platform,
-	progress func(msg string)) (map[string][]Cell, error) {
+	progress func(msg string), ins *Instruments) (map[string][]Cell, error) {
 	wall := NewBilatInput(cfg.BilatSize, cfg.Seed)
 	sim := NewBilatInput(cfg.BilatSimSize, cfg.Seed)
 	out := make(map[string][]Cell)
@@ -136,19 +174,36 @@ func RunBilatGrid(cfg Config, threadList []int, platform cache.Platform,
 			if progress != nil {
 				progress(fmt.Sprintf("bilat %s threads=%d", row.Label, threads))
 			}
-			a, z, err := measureBilatPair(wall, row, threads, cfg.Reps)
+			c, err := measureBilatPair(wall, row, threads, cfg.Reps, ins)
 			if err != nil {
 				return nil, err
 			}
-			ma, _, err := SimBilat(sim, core.ArrayKind, row, threads, platform)
+			ma, repA, err := simBilat(sim, core.ArrayKind, row, threads, platform,
+				ins.Observer(spanName("sim bilat", "a", row.Label)))
 			if err != nil {
 				return nil, err
 			}
-			mz, _, err := SimBilat(sim, core.ZKind, row, threads, platform)
+			mz, repZ, err := simBilat(sim, core.ZKind, row, threads, platform,
+				ins.Observer(spanName("sim bilat", "z", row.Label)))
 			if err != nil {
 				return nil, err
 			}
-			cells[ti] = Cell{RuntimeA: a, RuntimeZ: z, MetricA: ma, MetricZ: mz}
+			ins.AddCacheReport(repA)
+			ins.AddCacheReport(repZ)
+			c.MetricA, c.MetricZ = ma, mz
+			cells[ti] = c
+			ins.RecordCell(CellRecord{
+				Kernel:     "bilat",
+				Strategy:   "round-robin",
+				Row:        row.Label,
+				Threads:    threads,
+				RuntimeA:   c.RuntimeA.Seconds(),
+				RuntimeZ:   c.RuntimeZ.Seconds(),
+				MetricA:    ma,
+				MetricZ:    mz,
+				ImbalanceA: c.ImbalanceA,
+				ImbalanceZ: c.ImbalanceZ,
+			})
 		}
 		out[row.Label] = cells
 	}

@@ -26,42 +26,44 @@ import (
 
 // Config holds the experiment dimensions. The zero value is not useful;
 // start from DefaultConfig or QuickConfig.
+// The JSON tags define the run-manifest schema (see manifest.go); keep
+// them stable.
 type Config struct {
 	// BilatSize is the volume edge for bilateral-filter wall-clock runs.
-	BilatSize int
+	BilatSize int `json:"bilat_size"`
 	// BilatSimSize is the volume edge for bilateral-filter counter runs.
-	BilatSimSize int
+	BilatSimSize int `json:"bilat_sim_size"`
 	// VolSize is the volume edge for renderer wall-clock runs.
-	VolSize int
+	VolSize int `json:"vol_size"`
 	// VolSimSize is the volume edge for renderer counter runs.
-	VolSimSize int
+	VolSimSize int `json:"vol_sim_size"`
 	// ImageSize is the square render-image edge for wall-clock runs.
-	ImageSize int
+	ImageSize int `json:"image_size"`
 	// SimImageSize is the render-image edge for counter runs.
-	SimImageSize int
+	SimImageSize int `json:"sim_image_size"`
 	// Seed drives all synthetic data generation.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// IvyThreads is the "Ivy Bridge" concurrency sweep (paper: 2..24).
-	IvyThreads []int
+	IvyThreads []int `json:"ivy_threads"`
 	// MICThreads is the "MIC" concurrency sweep (paper: 59..236).
-	MICThreads []int
+	MICThreads []int `json:"mic_threads"`
 	// CacheScale divides the simulated cache capacities, matching the
 	// shrunken trace volumes (DESIGN.md §2). Power of two.
-	CacheScale int
+	CacheScale int `json:"cache_scale"`
 	// Views is the renderer's orbit viewpoint count (paper: 8).
-	Views int
+	Views int `json:"views"`
 	// FixedThreads is the concurrency used for Fig 4's absolute series.
-	FixedThreads int
+	FixedThreads int `json:"fixed_threads"`
 	// Reps repeats each wall-clock measurement, keeping the minimum.
-	Reps int
+	Reps int `json:"reps"`
 	// Radii maps the paper's row labels to stencil radii.
-	Radii []RadiusSpec
+	Radii []RadiusSpec `json:"radii"`
 }
 
 // RadiusSpec names one stencil size the way the paper's figures do.
 type RadiusSpec struct {
-	Label  string // "r1", "r3", "r5"
-	Radius int    // stencil radius; stencil edge is 2*Radius+1
+	Label  string `json:"label"`  // "r1", "r3", "r5"
+	Radius int    `json:"radius"` // stencil radius; stencil edge is 2*Radius+1
 }
 
 // DefaultConfig returns the full-fidelity experiment dimensions used to

@@ -3,8 +3,10 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"sfcmem/internal/core"
+	"sfcmem/internal/parallel"
 	"sfcmem/internal/stats"
 )
 
@@ -21,7 +23,14 @@ type FigureResult struct {
 // orbit angles, under every layout. Array order's strides explode for
 // against-the-grain directions; Z order's stay bounded and
 // direction-independent.
-func Fig1(cfg Config) FigureResult {
+func Fig1(cfg Config) FigureResult { return fig1(cfg, nil) }
+
+// fig1 computes the per-layout stride rows concurrently through the
+// dynamic worker pool (each row is an independent pure computation, so
+// the tables are identical for any schedule); with instruments attached
+// the sweep reports per-worker spans, per-row timings, and the pool's
+// load-imbalance factor.
+func fig1(cfg Config, ins *Instruments) FigureResult {
 	size := cfg.VolSimSize
 	kinds := core.Kinds()
 	rowLabels := make([]string, len(kinds))
@@ -32,7 +41,20 @@ func Fig1(cfg Config) FigureResult {
 		fmt.Sprintf("Fig 1a — mean |Δoffset| (elements) per unit index step, %d³ volume", size),
 		rowLabels, []string{"x-step", "y-step", "z-step", "worst/best"})
 	axisTable.Format = "%10.1f"
-	for r, kind := range kinds {
+	rayTable := stats.NewTable(
+		"Fig 1b — mean |Δoffset| (elements) per sample along orbit-angle rays",
+		rowLabels, []string{"view0(+x)", "view1", "view2(+z)", "view3", "max/min"})
+	rayTable.Format = "%10.1f"
+	angles := [][3]float64{{1, 0.02, 0.02}, {0.7, 0.02, 0.7}, {0.02, 0.02, 1}, {-0.7, 0.02, 0.7}}
+
+	workers := len(kinds)
+	if cfg.FixedThreads > 0 && cfg.FixedThreads < workers {
+		workers = cfg.FixedThreads
+	}
+	elapsed := make([]time.Duration, len(kinds))
+	st := parallel.DynamicInstrumented(len(kinds), workers, func(_, r int) {
+		start := time.Now()
+		kind := kinds[r]
 		l := core.New(kind, size, size, size)
 		var best, worst float64
 		for axis := 0; axis < 3; axis++ {
@@ -48,15 +70,6 @@ func Fig1(cfg Config) FigureResult {
 		if best > 0 {
 			axisTable.Set(r, 3, worst/best)
 		}
-	}
-
-	rayTable := stats.NewTable(
-		"Fig 1b — mean |Δoffset| (elements) per sample along orbit-angle rays",
-		rowLabels, []string{"view0(+x)", "view1", "view2(+z)", "view3", "max/min"})
-	rayTable.Format = "%10.1f"
-	angles := [][3]float64{{1, 0.02, 0.02}, {0.7, 0.02, 0.7}, {0.02, 0.02, 1}, {-0.7, 0.02, 0.7}}
-	for r, kind := range kinds {
-		l := core.New(kind, size, size, size)
 		var lo, hi float64
 		for c, d := range angles {
 			m := core.RayStride(l, d[0], d[1], d[2]).Mean
@@ -71,7 +84,17 @@ func Fig1(cfg Config) FigureResult {
 		if lo > 0 {
 			rayTable.Set(r, 4, hi/lo)
 		}
+		elapsed[r] = time.Since(start)
+	}, ins.Observer("fig1 layout"))
+
+	for r, kind := range kinds {
+		ins.RecordCell(CellRecord{Kernel: "stride", Row: kind.String(), RuntimeA: elapsed[r].Seconds()})
 	}
+	ins.RecordCell(CellRecord{
+		Kernel: "stride-sweep", Strategy: st.Strategy, Threads: workers,
+		RuntimeA: st.Elapsed.Seconds(), ImbalanceA: st.ImbalanceFactor(),
+	})
+
 	text := axisTable.String() + "\n" + rayTable.String()
 	return FigureResult{Name: "fig1", Text: text, Tables: []*stats.Table{axisTable, rayTable}}
 }
@@ -79,12 +102,12 @@ func Fig1(cfg Config) FigureResult {
 // bilatFigure produces one of the paper's bilateral-filter ds figures
 // (Fig 2 on the IvyBridge-like platform, Fig 3 on the MIC-like one).
 func bilatFigure(cfg Config, name, title string, threads []int, platName string,
-	progress func(string)) (FigureResult, error) {
+	progress func(string), ins *Instruments) (FigureResult, error) {
 	platform := cfg.ivyPlatform()
 	if platName == "mic" {
 		platform = cfg.micPlatform()
 	}
-	cells, err := RunBilatGrid(cfg, threads, platform, progress)
+	cells, err := RunBilatGrid(cfg, threads, platform, progress, ins)
 	if err != nil {
 		return FigureResult{}, err
 	}
@@ -119,17 +142,25 @@ func metricName(platName string) string {
 // total L3 cache accesses over the (stencil × axis × order) rows and
 // the 2..24 thread sweep.
 func Fig2(cfg Config, progress func(string)) (FigureResult, error) {
+	return fig2(cfg, progress, nil)
+}
+
+func fig2(cfg Config, progress func(string), ins *Instruments) (FigureResult, error) {
 	return bilatFigure(cfg, "fig2",
 		fmt.Sprintf("Fig 2 — Bilat3d %d³ (sim %d³) IvyBridge-like", cfg.BilatSize, cfg.BilatSimSize),
-		cfg.IvyThreads, "ivy", progress)
+		cfg.IvyThreads, "ivy", progress, ins)
 }
 
 // Fig3 reproduces the paper's Fig. 3: bilateral filter on the MIC-like
 // platform (59..236 threads, L2 read-miss counter).
 func Fig3(cfg Config, progress func(string)) (FigureResult, error) {
+	return fig3(cfg, progress, nil)
+}
+
+func fig3(cfg Config, progress func(string), ins *Instruments) (FigureResult, error) {
 	return bilatFigure(cfg, "fig3",
 		fmt.Sprintf("Fig 3 — Bilat3d %d³ (sim %d³) MIC-like", cfg.BilatSize, cfg.BilatSimSize),
-		cfg.MICThreads, "mic", progress)
+		cfg.MICThreads, "mic", progress, ins)
 }
 
 // Fig4 reproduces the paper's Fig. 4: absolute runtime and L3 counter
@@ -137,13 +168,26 @@ func Fig3(cfg Config, progress func(string)) (FigureResult, error) {
 // Array order peaks at oblique views and dips at views 0 and N/2; Z
 // order stays flat.
 func Fig4(cfg Config, progress func(string)) (FigureResult, error) {
+	return fig4(cfg, progress, nil)
+}
+
+func fig4(cfg Config, progress func(string), ins *Instruments) (FigureResult, error) {
 	wall := NewVolInput(cfg.VolSize, cfg.Seed)
 	sim := NewVolInput(cfg.VolSimSize, cfg.Seed)
 	platform := cfg.ivyPlatform()
 	labels := make([]string, cfg.Views)
 	aRT := make([]float64, cfg.Views)
 	zRT := make([]float64, cfg.Views)
+	aImb := make([]float64, cfg.Views)
+	zImb := make([]float64, cfg.Views)
 	var aM, zM []float64
+	var stA, stZ *parallel.Stats
+	var obsA, obsZ parallel.Observer
+	if ins.active() {
+		stA, stZ = &parallel.Stats{}, &parallel.Stats{}
+		obsA = ins.Observer("fig4 volrend a")
+		obsZ = ins.Observer("fig4 volrend z")
+	}
 	// Wall-clock: sweep the whole orbit in interleaved rounds (array and
 	// Z per view, all views per round) and keep per-cell minimums, so
 	// slow host drift cannot masquerade as viewpoint structure. The
@@ -157,11 +201,11 @@ func Fig4(cfg Config, progress func(string)) (FigureResult, error) {
 			if progress != nil {
 				progress(fmt.Sprintf("fig4 round=%d view=%d", round, view))
 			}
-			a, err := TimeVolrend(wall, core.ArrayKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads)
+			a, err := timeVolrend(wall, core.ArrayKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads, stA, obsA)
 			if err != nil {
 				return FigureResult{}, err
 			}
-			z, err := TimeVolrend(wall, core.ZKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads)
+			z, err := timeVolrend(wall, core.ZKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads, stZ, obsZ)
 			if err != nil {
 				return FigureResult{}, err
 			}
@@ -171,20 +215,40 @@ func Fig4(cfg Config, progress func(string)) (FigureResult, error) {
 			if round == 0 || z.Seconds() < zRT[view] {
 				zRT[view] = z.Seconds()
 			}
+			if stA != nil {
+				aImb[view] = stA.ImbalanceFactor()
+				zImb[view] = stZ.ImbalanceFactor()
+			}
 		}
 	}
 	for view := 0; view < cfg.Views; view++ {
 		labels[view] = fmt.Sprintf("%d", view)
-		ma, _, err := SimVolrend(sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform)
+		ma, repA, err := simVolrend(sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform,
+			ins.Observer("fig4 sim volrend a"))
 		if err != nil {
 			return FigureResult{}, err
 		}
-		mz, _, err := SimVolrend(sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform)
+		mz, repZ, err := simVolrend(sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform,
+			ins.Observer("fig4 sim volrend z"))
 		if err != nil {
 			return FigureResult{}, err
 		}
+		ins.AddCacheReport(repA)
+		ins.AddCacheReport(repZ)
 		aM = append(aM, float64(ma))
 		zM = append(zM, float64(mz))
+		ins.RecordCell(CellRecord{
+			Kernel:     "volrend",
+			Strategy:   "dynamic",
+			View:       view,
+			Threads:    cfg.FixedThreads,
+			RuntimeA:   aRT[view],
+			RuntimeZ:   zRT[view],
+			MetricA:    uint64(aM[view]),
+			MetricZ:    uint64(zM[view]),
+			ImbalanceA: aImb[view],
+			ImbalanceZ: zImb[view],
+		})
 	}
 	text := stats.RenderSeries(
 		fmt.Sprintf("Fig 4 — Volrend %d³ (sim %d³) IvyBridge-like, %d threads: runtime (s) and PAPI_L3_TCA vs viewpoint",
@@ -199,12 +263,12 @@ func Fig4(cfg Config, progress func(string)) (FigureResult, error) {
 
 // volrendFigure produces one of the renderer ds figures (Fig 5 / Fig 6).
 func volrendFigure(cfg Config, name, title string, threads []int, platName string,
-	progress func(string)) (FigureResult, error) {
+	progress func(string), ins *Instruments) (FigureResult, error) {
 	platform := cfg.ivyPlatform()
 	if platName == "mic" {
 		platform = cfg.micPlatform()
 	}
-	cells, err := RunVolrendGrid(cfg, threads, platform, progress)
+	cells, err := RunVolrendGrid(cfg, threads, platform, progress, ins)
 	if err != nil {
 		return FigureResult{}, err
 	}
@@ -229,46 +293,66 @@ func volrendFigure(cfg Config, name, title string, threads []int, platName strin
 // Fig5 reproduces the paper's Fig. 5: renderer ds tables (viewpoints ×
 // threads) on the IvyBridge-like platform.
 func Fig5(cfg Config, progress func(string)) (FigureResult, error) {
+	return fig5(cfg, progress, nil)
+}
+
+func fig5(cfg Config, progress func(string), ins *Instruments) (FigureResult, error) {
 	return volrendFigure(cfg, "fig5",
 		fmt.Sprintf("Fig 5 — Volrend %d³ (sim %d³) IvyBridge-like", cfg.VolSize, cfg.VolSimSize),
-		cfg.IvyThreads, "ivy", progress)
+		cfg.IvyThreads, "ivy", progress, ins)
 }
 
 // Fig6 reproduces the paper's Fig. 6: renderer ds tables on the
 // MIC-like platform.
 func Fig6(cfg Config, progress func(string)) (FigureResult, error) {
+	return fig6(cfg, progress, nil)
+}
+
+func fig6(cfg Config, progress func(string), ins *Instruments) (FigureResult, error) {
 	return volrendFigure(cfg, "fig6",
 		fmt.Sprintf("Fig 6 — Volrend %d³ (sim %d³) MIC-like", cfg.VolSize, cfg.VolSimSize),
-		cfg.MICThreads, "mic", progress)
+		cfg.MICThreads, "mic", progress, ins)
 }
 
 // Figure dispatches a figure by number: 1-6 reproduce the paper's
 // figures, 7-8 are this repo's extension studies (reuse-distance curves
 // and the padding/auto-tuning ablation).
 func Figure(n int, cfg Config, progress func(string)) (FigureResult, error) {
+	return FigureObs(n, cfg, progress, nil)
+}
+
+// FigureObs is Figure with observability: when ins is non-nil, the
+// figure's elapsed time, per-cell measurements, aggregated simulated
+// cache counters, and per-worker timeline spans flow into it. A nil ins
+// makes it identical to Figure.
+func FigureObs(n int, cfg Config, progress func(string), ins *Instruments) (FigureResult, error) {
+	if n < 1 || n > 10 {
+		return FigureResult{}, fmt.Errorf("harness: no figure %d (valid: 1-6 paper, 7-10 extensions)", n)
+	}
+	end := ins.StartFigure(fmt.Sprintf("fig%d", n))
+	defer end()
 	switch n {
 	case 1:
-		return Fig1(cfg), nil
+		return fig1(cfg, ins), nil
 	case 2:
-		return Fig2(cfg, progress)
+		return fig2(cfg, progress, ins)
 	case 3:
-		return Fig3(cfg, progress)
+		return fig3(cfg, progress, ins)
 	case 4:
-		return Fig4(cfg, progress)
+		return fig4(cfg, progress, ins)
 	case 5:
-		return Fig5(cfg, progress)
+		return fig5(cfg, progress, ins)
 	case 6:
-		return Fig6(cfg, progress)
+		return fig6(cfg, progress, ins)
 	case 7:
 		return Fig7(cfg, progress)
 	case 8:
 		return Fig8(cfg, progress)
 	case 9:
 		return Fig9(cfg, progress)
-	case 10:
+	default:
 		return Fig10(cfg, progress)
 	}
-	return FigureResult{}, fmt.Errorf("harness: no figure %d (valid: 1-6 paper, 7-10 extensions)", n)
 }
 
 // All runs every figure — the paper's six plus the two extension

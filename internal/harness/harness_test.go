@@ -71,7 +71,7 @@ func TestFig1Structure(t *testing.T) {
 
 func TestRunBilatGridPopulatesCells(t *testing.T) {
 	cfg := microConfig()
-	cells, err := RunBilatGrid(cfg, cfg.IvyThreads, cfg.ivyPlatform(), nil)
+	cells, err := RunBilatGrid(cfg, cfg.IvyThreads, cfg.ivyPlatform(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

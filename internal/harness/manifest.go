@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"sfcmem/internal/cache"
+	"sfcmem/internal/metrics"
+	"sfcmem/internal/parallel"
+	"sfcmem/internal/timeline"
+)
+
+// ManifestSchema identifies the run-manifest JSON shape. Bump the suffix
+// on any breaking field change; trajectory tooling (BENCH_*.json) keys on
+// it.
+const ManifestSchema = "sfcmem/run/v1"
+
+// HostInfo describes the machine a run executed on.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Host captures the current process's host info.
+func Host() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// CellRecord is one measured experiment cell. The A/Z pairs mirror the
+// paper's array-order vs Z-order comparison; Imbalance values are the
+// scheduling load-imbalance factors (max/mean worker busy time, 1.0 =
+// perfectly balanced) observed during the wall-clock runs.
+type CellRecord struct {
+	// Kernel is "bilat", "volrend", or "stride" (Fig 1's layout sweep).
+	Kernel string `json:"kernel"`
+	// Strategy is the work-distribution strategy: "round-robin" or
+	// "dynamic". Empty for serial cells.
+	Strategy string `json:"strategy,omitempty"`
+	// Row labels bilateral rows ("r3 pz zyx") or Fig 1 layouts.
+	Row string `json:"row,omitempty"`
+	// View is the renderer orbit viewpoint (volrend cells only).
+	View int `json:"view,omitempty"`
+	// Threads is the worker count for the cell.
+	Threads int `json:"threads,omitempty"`
+	// RuntimeA/RuntimeZ are wall-clock seconds (min over repetitions).
+	// Fig 1 cells use RuntimeA for their single measurement.
+	RuntimeA float64 `json:"runtime_a_s,omitempty"`
+	RuntimeZ float64 `json:"runtime_z_s,omitempty"`
+	// MetricA/MetricZ are the platform's simulated paper counters.
+	MetricA uint64 `json:"metric_a,omitempty"`
+	MetricZ uint64 `json:"metric_z,omitempty"`
+	// ImbalanceA/ImbalanceZ are load-imbalance factors from the final
+	// wall-clock repetition of each layout (0 when not instrumented).
+	ImbalanceA float64 `json:"imbalance_a,omitempty"`
+	ImbalanceZ float64 `json:"imbalance_z,omitempty"`
+}
+
+// FigureManifest is one figure's machine-readable record.
+type FigureManifest struct {
+	Name           string       `json:"name"`
+	ElapsedSeconds float64      `json:"elapsed_s"`
+	Cells          []CellRecord `json:"cells,omitempty"`
+	// Cache sums the simulated cache counters over every sim run the
+	// figure performed (see cache.Report.Snapshot for the key set).
+	Cache map[string]uint64 `json:"cache,omitempty"`
+}
+
+// RunManifest is the machine-readable record of a whole harness run:
+// what ran, where, with which configuration, and what every cell
+// measured. It round-trips through encoding/json.
+type RunManifest struct {
+	Schema         string           `json:"schema"`
+	Host           HostInfo         `json:"host"`
+	Config         Config           `json:"config"`
+	Figures        []FigureManifest `json:"figures"`
+	Metrics        map[string]any   `json:"metrics,omitempty"`
+	ElapsedSeconds float64          `json:"elapsed_s"`
+}
+
+// NewRunManifest starts a manifest for the given configuration.
+func NewRunManifest(cfg Config) *RunManifest {
+	return &RunManifest{Schema: ManifestSchema, Host: Host(), Config: cfg}
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *RunManifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Instruments bundles the observability sinks a run reports into. Any
+// field may be nil, and a nil *Instruments disables everything — the
+// figure code calls the same methods either way and pays nothing when
+// observability is off.
+type Instruments struct {
+	// Timeline receives per-worker spans (pencils, tiles, figure
+	// phases) when non-nil.
+	Timeline *timeline.Recorder
+	// Metrics receives counters, phase timings, and cell-runtime
+	// histograms when non-nil.
+	Metrics *metrics.Registry
+	// Manifest accumulates figure records when non-nil.
+	Manifest *RunManifest
+
+	mu    sync.Mutex
+	cur   *FigureManifest
+	start time.Time
+}
+
+// NewInstruments returns instruments with a fresh metrics registry and
+// manifest for cfg. Attach a timeline by setting Timeline before the
+// first figure runs.
+func NewInstruments(cfg Config) *Instruments {
+	return &Instruments{
+		Metrics:  metrics.NewRegistry(),
+		Manifest: NewRunManifest(cfg),
+		start:    time.Now(),
+	}
+}
+
+// StartFigure opens figure name's record; the returned func closes it
+// (stamping the elapsed time and appending it to the manifest). Figures
+// run sequentially, so at most one is open at a time.
+func (ins *Instruments) StartFigure(name string) func() {
+	if ins == nil {
+		return func() {}
+	}
+	ins.mu.Lock()
+	ins.cur = &FigureManifest{Name: name}
+	ins.mu.Unlock()
+	begin := time.Now()
+	var endSpan func()
+	if ins.Timeline != nil {
+		endSpan = ins.Timeline.Begin(0, name)
+	}
+	return func() {
+		elapsed := time.Since(begin)
+		if endSpan != nil {
+			endSpan()
+		}
+		if ins.Metrics != nil {
+			ins.Metrics.PhaseTimer("figures").Add(name, elapsed)
+		}
+		ins.mu.Lock()
+		if ins.cur != nil {
+			ins.cur.ElapsedSeconds = elapsed.Seconds()
+			if ins.Manifest != nil {
+				ins.Manifest.Figures = append(ins.Manifest.Figures, *ins.cur)
+			}
+			ins.cur = nil
+		}
+		ins.mu.Unlock()
+	}
+}
+
+// RecordCell appends one measured cell to the open figure and feeds the
+// metrics registry.
+func (ins *Instruments) RecordCell(c CellRecord) {
+	if ins == nil {
+		return
+	}
+	if ins.Metrics != nil {
+		ins.Metrics.Counter("cells", 1).Inc(0)
+		h := ins.Metrics.Histogram("cell_runtime")
+		if c.RuntimeA > 0 {
+			h.Observe(time.Duration(c.RuntimeA * float64(time.Second)))
+		}
+		if c.RuntimeZ > 0 {
+			h.Observe(time.Duration(c.RuntimeZ * float64(time.Second)))
+		}
+	}
+	ins.mu.Lock()
+	if ins.cur != nil {
+		ins.cur.Cells = append(ins.cur.Cells, c)
+	}
+	ins.mu.Unlock()
+}
+
+// AddCacheReport folds a simulated-cache report into the open figure's
+// aggregate counters.
+func (ins *Instruments) AddCacheReport(rep cache.Report) {
+	if ins == nil {
+		return
+	}
+	snap := rep.Snapshot()
+	ins.mu.Lock()
+	if ins.cur != nil {
+		if ins.cur.Cache == nil {
+			ins.cur.Cache = make(map[string]uint64, len(snap))
+		}
+		for k, v := range snap {
+			ins.cur.Cache[k] += v
+		}
+	}
+	ins.mu.Unlock()
+}
+
+// Observer returns a timeline item observer labelled name, or nil when
+// no timeline is attached (which disables per-item timing entirely).
+func (ins *Instruments) Observer(name string) parallel.Observer {
+	if ins == nil || ins.Timeline == nil {
+		return nil
+	}
+	return parallel.Observer(ins.Timeline.Observer(name))
+}
+
+// active reports whether any sink wants per-cell instrumentation.
+func (ins *Instruments) active() bool { return ins != nil }
+
+// Finish stamps the manifest's total elapsed time and final metrics
+// snapshot. Call once, after the last figure.
+func (ins *Instruments) Finish() {
+	if ins == nil || ins.Manifest == nil {
+		return
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if !ins.start.IsZero() {
+		ins.Manifest.ElapsedSeconds = time.Since(ins.start).Seconds()
+	}
+	if ins.Metrics != nil {
+		ins.Manifest.Metrics = ins.Metrics.Snapshot()
+	}
+}
+
+// spanName builds a compact timeline label.
+func spanName(kernel, layout string, extra string) string {
+	if extra == "" {
+		return fmt.Sprintf("%s %s", kernel, layout)
+	}
+	return fmt.Sprintf("%s %s %s", kernel, layout, extra)
+}

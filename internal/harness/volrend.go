@@ -7,6 +7,7 @@ import (
 	"sfcmem/internal/cache"
 	"sfcmem/internal/core"
 	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
 	"sfcmem/internal/render"
 	"sfcmem/internal/volume"
 )
@@ -42,11 +43,22 @@ func renderOptions(threads int) render.Options {
 // TimeVolrend measures wall-clock runtime of one render (viewpoint ×
 // layout × threads).
 func TimeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int) (time.Duration, error) {
+	return timeVolrend(in, kind, view, nViews, imgSize, threads, nil, nil)
+}
+
+// timeVolrend is TimeVolrend with optional scheduling instrumentation:
+// st receives the dynamic-queue per-worker stats, obs each completed
+// tile.
+func timeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int,
+	st *parallel.Stats, obs parallel.Observer) (time.Duration, error) {
 	vol := in.Vol[kind]
 	cam := render.Orbit(view, nViews, in.Size, in.Size, in.Size, imgSize, imgSize)
 	tf := render.DefaultTransferFunc()
+	o := renderOptions(threads)
+	o.Stats = st
+	o.Observer = obs
 	start := time.Now()
-	if _, err := render.Render(vol, cam, tf, renderOptions(threads)); err != nil {
+	if _, err := render.Render(vol, cam, tf, o); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil
@@ -56,6 +68,13 @@ func TimeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads in
 // traced view per simulated thread, returning the platform's paper
 // counter and the full report.
 func SimVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int, platform cache.Platform) (uint64, cache.Report, error) {
+	return simVolrend(in, kind, view, nViews, imgSize, threads, platform, nil)
+}
+
+// simVolrend is SimVolrend with optional replay-chunk observation (each
+// tile replayed through the simulated caches becomes a timeline span).
+func simVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int,
+	platform cache.Platform, obs parallel.Observer) (uint64, cache.Report, error) {
 	vol := in.Vol[kind]
 	cam := render.Orbit(view, nViews, in.Size, in.Size, in.Size, imgSize, imgSize)
 	tf := render.DefaultTransferFunc()
@@ -64,7 +83,9 @@ func SimVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int
 	for w := 0; w < threads; w++ {
 		views[w] = grid.NewTraced(vol, 0, sys.Front(w))
 	}
-	if _, err := render.RenderViews(views, cam, tf, renderOptions(threads)); err != nil {
+	o := renderOptions(threads)
+	o.Observer = obs
+	if _, err := render.RenderViews(views, cam, tf, o); err != nil {
 		return 0, cache.Report{}, err
 	}
 	rep := sys.Report()
@@ -73,31 +94,44 @@ func SimVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int
 
 // measureVolrendPair interleaves array/Z wall-clock repetitions for one
 // (view, threads) cell, keeping per-layout minimums (see
-// measureBilatPair for the rationale).
-func measureVolrendPair(wall *VolInput, view, nViews, imgSize, threads, reps int) (a, z time.Duration, err error) {
-	a, z = time.Duration(1<<63-1), time.Duration(1<<63-1)
+// measureBilatPair for the rationale and the imbalance semantics).
+func measureVolrendPair(wall *VolInput, view, nViews, imgSize, threads, reps int,
+	ins *Instruments) (c Cell, err error) {
+	c.RuntimeA, c.RuntimeZ = time.Duration(1<<63-1), time.Duration(1<<63-1)
 	if reps < 1 {
 		reps = 1
 	}
-	for rep := 0; rep < reps; rep++ {
-		ta, err := TimeVolrend(wall, core.ArrayKind, view, nViews, imgSize, threads)
-		if err != nil {
-			return 0, 0, err
-		}
-		tz, err := TimeVolrend(wall, core.ZKind, view, nViews, imgSize, threads)
-		if err != nil {
-			return 0, 0, err
-		}
-		a = minDuration(a, ta)
-		z = minDuration(z, tz)
+	var stA, stZ *parallel.Stats
+	var obsA, obsZ parallel.Observer
+	if ins.active() {
+		stA, stZ = &parallel.Stats{}, &parallel.Stats{}
+		obsA = ins.Observer(spanName("volrend", "a", fmt.Sprintf("view %d", view)))
+		obsZ = ins.Observer(spanName("volrend", "z", fmt.Sprintf("view %d", view)))
 	}
-	return a, z, nil
+	for rep := 0; rep < reps; rep++ {
+		ta, err := timeVolrend(wall, core.ArrayKind, view, nViews, imgSize, threads, stA, obsA)
+		if err != nil {
+			return Cell{}, err
+		}
+		tz, err := timeVolrend(wall, core.ZKind, view, nViews, imgSize, threads, stZ, obsZ)
+		if err != nil {
+			return Cell{}, err
+		}
+		c.RuntimeA = minDuration(c.RuntimeA, ta)
+		c.RuntimeZ = minDuration(c.RuntimeZ, tz)
+	}
+	if stA != nil {
+		c.ImbalanceA = stA.ImbalanceFactor()
+		c.ImbalanceZ = stZ.ImbalanceFactor()
+	}
+	return c, nil
 }
 
 // RunVolrendGrid measures the full (viewpoints × threads) grid with
-// both layouts per cell.
+// both layouts per cell; ins, if non-nil, receives cell records, cache
+// reports, and timeline spans.
 func RunVolrendGrid(cfg Config, threadList []int, platform cache.Platform,
-	progress func(msg string)) ([][]Cell, error) {
+	progress func(msg string), ins *Instruments) ([][]Cell, error) {
 	wall := NewVolInput(cfg.VolSize, cfg.Seed)
 	sim := NewVolInput(cfg.VolSimSize, cfg.Seed)
 	out := make([][]Cell, cfg.Views)
@@ -107,19 +141,36 @@ func RunVolrendGrid(cfg Config, threadList []int, platform cache.Platform,
 			if progress != nil {
 				progress(fmt.Sprintf("volrend view=%d threads=%d", view, threads))
 			}
-			a, z, err := measureVolrendPair(wall, view, cfg.Views, cfg.ImageSize, threads, cfg.Reps)
+			c, err := measureVolrendPair(wall, view, cfg.Views, cfg.ImageSize, threads, cfg.Reps, ins)
 			if err != nil {
 				return nil, err
 			}
-			ma, _, err := SimVolrend(sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, threads, platform)
+			ma, repA, err := simVolrend(sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, threads, platform,
+				ins.Observer(spanName("sim volrend", "a", fmt.Sprintf("view %d", view))))
 			if err != nil {
 				return nil, err
 			}
-			mz, _, err := SimVolrend(sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, threads, platform)
+			mz, repZ, err := simVolrend(sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, threads, platform,
+				ins.Observer(spanName("sim volrend", "z", fmt.Sprintf("view %d", view))))
 			if err != nil {
 				return nil, err
 			}
-			out[view][ti] = Cell{RuntimeA: a, RuntimeZ: z, MetricA: ma, MetricZ: mz}
+			ins.AddCacheReport(repA)
+			ins.AddCacheReport(repZ)
+			c.MetricA, c.MetricZ = ma, mz
+			out[view][ti] = c
+			ins.RecordCell(CellRecord{
+				Kernel:     "volrend",
+				Strategy:   "dynamic",
+				View:       view,
+				Threads:    threads,
+				RuntimeA:   c.RuntimeA.Seconds(),
+				RuntimeZ:   c.RuntimeZ.Seconds(),
+				MetricA:    ma,
+				MetricZ:    mz,
+				ImbalanceA: c.ImbalanceA,
+				ImbalanceZ: c.ImbalanceZ,
+			})
 		}
 	}
 	return out, nil

@@ -1,0 +1,427 @@
+// Package metrics is the repo's runtime instrumentation layer: lock-free
+// per-worker counters (cache-line padded so concurrent workers never
+// false-share), log-scaled latency histograms with quantile export,
+// cumulative phase timers, and a Registry that snapshots everything to a
+// stable JSON shape.
+//
+// The package is deliberately tiny and allocation-free on the hot path —
+// the kernels it instruments are the very memory-bound loops whose
+// behaviour the experiments measure, so the instruments must not perturb
+// what they observe. Counter.Add is a single padded atomic add;
+// Histogram.Observe is a bit-length bucket index plus two atomic adds.
+//
+// A Registry can be published to expvar (Publish), which makes every
+// snapshot visible over HTTP when cmd/sfcbench serves its -pprof
+// endpoint.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLine is the assumed coherence granule. 64 bytes covers x86 and
+// most ARM cores; being wrong only costs a little padding.
+const cacheLine = 64
+
+// slot is one worker's counter cell, padded to a full cache line so
+// adjacent workers' atomic adds never contend for the same line.
+type slot struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotonically increasing counter sharded per worker:
+// worker w updates only its own padded slot, so concurrent Adds are
+// wait-free and contention-free. Read methods sum the slots.
+type Counter struct {
+	slots []slot
+}
+
+// NewCounter returns a counter with one padded slot per worker.
+// It panics if workers < 1.
+func NewCounter(workers int) *Counter {
+	if workers < 1 {
+		panic("metrics: counter needs at least one worker slot")
+	}
+	return &Counter{slots: make([]slot, workers)}
+}
+
+// Add increments worker w's slot by n.
+func (c *Counter) Add(w int, n uint64) { c.slots[w].v.Add(n) }
+
+// Inc increments worker w's slot by one.
+func (c *Counter) Inc(w int) { c.slots[w].v.Add(1) }
+
+// Workers returns the number of slots.
+func (c *Counter) Workers() int { return len(c.slots) }
+
+// Value returns worker w's count.
+func (c *Counter) Value(w int) uint64 { return c.slots[w].v.Load() }
+
+// Total sums all worker slots.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for i := range c.slots {
+		t += c.slots[i].v.Load()
+	}
+	return t
+}
+
+// PerWorker returns a copy of every worker's count.
+func (c *Counter) PerWorker() []uint64 {
+	out := make([]uint64, len(c.slots))
+	for i := range c.slots {
+		out[i] = c.slots[i].v.Load()
+	}
+	return out
+}
+
+// CounterSnapshot is a Counter's JSON form.
+type CounterSnapshot struct {
+	Type      string   `json:"type"` // "counter"
+	Total     uint64   `json:"total"`
+	PerWorker []uint64 `json:"per_worker,omitempty"`
+}
+
+// Snapshot captures the counter. Per-worker detail is included only when
+// there is more than one slot.
+func (c *Counter) Snapshot() any {
+	s := CounterSnapshot{Type: "counter", Total: c.Total()}
+	if len(c.slots) > 1 {
+		s.PerWorker = c.PerWorker()
+	}
+	return s
+}
+
+// histBuckets is the number of log2 duration buckets: bucket i holds
+// observations with nanosecond bit-length i, so bucket 0 is [0,1ns],
+// bucket 10 ≈ 1µs, bucket 30 ≈ 1s, bucket 40 ≈ 18min.
+const histBuckets = 41
+
+// Histogram counts durations in log2-spaced buckets. Observe is
+// lock-free; quantiles are reconstructed from the bucket counts with
+// log-linear interpolation inside the winning bucket, which bounds the
+// relative error by the bucket width (2×).
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	maxNS   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a duration to its log2 bucket.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d))
+	h.buckets[bucketOf(d)].Add(1)
+	for {
+		cur := h.maxNS.Load()
+		if uint64(d) <= cur || h.maxNS.CompareAndSwap(cur, uint64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) from the
+// bucket counts, interpolating geometrically within the bucket. Returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for b := 0; b < histBuckets; b++ {
+		c := h.buckets[b].Load()
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo, hi := bucketBounds(b)
+			frac := float64(rank-seen) / float64(c)
+			return time.Duration(lo + frac*(hi-lo))
+		}
+		seen += c
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// bucketBounds returns bucket b's nanosecond range [lo, hi).
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (b - 1)), float64(uint64(1) << b)
+}
+
+// HistogramSnapshot is a Histogram's JSON form. Bucket keys are the
+// upper bound of each non-empty bucket, rendered as a duration string.
+type HistogramSnapshot struct {
+	Type    string            `json:"type"` // "histogram"
+	Count   uint64            `json:"count"`
+	Seconds float64           `json:"sum_s"`
+	MeanS   float64           `json:"mean_s"`
+	P50S    float64           `json:"p50_s"`
+	P90S    float64           `json:"p90_s"`
+	P99S    float64           `json:"p99_s"`
+	MaxS    float64           `json:"max_s"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram.
+func (h *Histogram) Snapshot() any {
+	s := HistogramSnapshot{
+		Type:    "histogram",
+		Count:   h.Count(),
+		Seconds: h.Sum().Seconds(),
+		MeanS:   h.Mean().Seconds(),
+		P50S:    h.Quantile(0.50).Seconds(),
+		P90S:    h.Quantile(0.90).Seconds(),
+		P99S:    h.Quantile(0.99).Seconds(),
+		MaxS:    (time.Duration(h.maxNS.Load())).Seconds(),
+	}
+	for b := 0; b < histBuckets; b++ {
+		if c := h.buckets[b].Load(); c > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[string]uint64)
+			}
+			_, hi := bucketBounds(b)
+			s.Buckets[fmt.Sprintf("le_%s", time.Duration(hi))] = c
+		}
+	}
+	return s
+}
+
+// PhaseTimer accumulates named phase durations — coarse, mutex-guarded
+// timing for code regions that run at most a few times per second
+// (figure setup, dataset generation, whole grid sweeps).
+type PhaseTimer struct {
+	mu     sync.Mutex
+	order  []string
+	phases map[string]*phase
+}
+
+type phase struct {
+	total time.Duration
+	count int
+}
+
+// NewPhaseTimer returns an empty phase timer.
+func NewPhaseTimer() *PhaseTimer {
+	return &PhaseTimer{phases: make(map[string]*phase)}
+}
+
+// Start begins timing phase name; invoke the returned func to stop.
+func (t *PhaseTimer) Start(name string) func() {
+	begin := time.Now()
+	return func() { t.Add(name, time.Since(begin)) }
+}
+
+// Add records one completed run of phase name.
+func (t *PhaseTimer) Add(name string, d time.Duration) {
+	t.mu.Lock()
+	p := t.phases[name]
+	if p == nil {
+		p = &phase{}
+		t.phases[name] = p
+		t.order = append(t.order, name)
+	}
+	p.total += d
+	p.count++
+	t.mu.Unlock()
+}
+
+// PhaseSnapshot is one phase's JSON form.
+type PhaseSnapshot struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Count   int     `json:"count"`
+}
+
+// PhaseTimerSnapshot is a PhaseTimer's JSON form, in first-start order.
+type PhaseTimerSnapshot struct {
+	Type   string          `json:"type"` // "phases"
+	Phases []PhaseSnapshot `json:"phases"`
+}
+
+// Snapshot captures every phase in the order first started.
+func (t *PhaseTimer) Snapshot() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := PhaseTimerSnapshot{Type: "phases", Phases: make([]PhaseSnapshot, 0, len(t.order))}
+	for _, name := range t.order {
+		p := t.phases[name]
+		s.Phases = append(s.Phases, PhaseSnapshot{Name: name, Seconds: p.total.Seconds(), Count: p.count})
+	}
+	return s
+}
+
+// Metric is anything the registry can snapshot. Snapshot must return a
+// JSON-marshalable value and be safe to call concurrently with updates.
+type Metric interface {
+	Snapshot() any
+}
+
+// GaugeFunc adapts a closure into a Metric (for one-off values such as
+// GOMAXPROCS or a queue depth probe).
+type GaugeFunc func() any
+
+// Snapshot invokes the closure.
+func (f GaugeFunc) Snapshot() any { return f() }
+
+// Registry is a named collection of metrics. Registration is expected at
+// setup time; Snapshot may be called at any point during a run.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]Metric)}
+}
+
+// Register adds m under name, replacing any previous metric of that
+// name. It panics on an empty name.
+func (r *Registry) Register(name string, m Metric) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	r.byKey[name] = m
+	r.mu.Unlock()
+}
+
+// Counter registers and returns a new per-worker counter. If a Counter
+// is already registered under name it is returned instead (so call sites
+// can re-acquire by name).
+func (r *Registry) Counter(name string, workers int) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.byKey[name].(*Counter); ok {
+		return c
+	}
+	c := NewCounter(workers)
+	r.byKey[name] = c
+	return c
+}
+
+// Histogram registers and returns a new histogram (or the existing one
+// of that name).
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.byKey[name].(*Histogram); ok {
+		return h
+	}
+	h := NewHistogram()
+	r.byKey[name] = h
+	return h
+}
+
+// PhaseTimer registers and returns a new phase timer (or the existing
+// one of that name).
+func (r *Registry) PhaseTimer(name string) *PhaseTimer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.byKey[name].(*PhaseTimer); ok {
+		return t
+	}
+	t := NewPhaseTimer()
+	r.byKey[name] = t
+	return t
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.byKey))
+	for k := range r.byKey {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot captures every metric. The result marshals to stable JSON
+// (encoding/json sorts map keys).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.byKey))
+	for k, m := range r.byKey {
+		out[k] = m.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Publish exposes the registry's live snapshot as the expvar variable
+// name (visible at /debug/vars once an HTTP server runs). expvar names
+// are process-global and permanent, so if the name is already taken —
+// e.g. a second registry in the same process — Publish does nothing.
+func (r *Registry) Publish(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

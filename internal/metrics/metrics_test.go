@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestCounterPerWorker(t *testing.T) {
+	c := NewCounter(4)
+	c.Add(0, 5)
+	c.Inc(1)
+	c.Inc(1)
+	c.Add(3, 10)
+	if got := c.Total(); got != 17 {
+		t.Errorf("total %d, want 17", got)
+	}
+	want := []uint64{5, 2, 0, 10}
+	for w, v := range c.PerWorker() {
+		if v != want[w] {
+			t.Errorf("worker %d: %d, want %d", w, v, want[w])
+		}
+	}
+	if c.Value(3) != 10 || c.Workers() != 4 {
+		t.Errorf("Value/Workers wrong: %d %d", c.Value(3), c.Workers())
+	}
+}
+
+func TestCounterSlotsArePadded(t *testing.T) {
+	if s := unsafe.Sizeof(slot{}); s != cacheLine {
+		t.Errorf("slot size %d, want %d", s, cacheLine)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const workers, per = 8, 10000
+	c := NewCounter(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Total(); got != workers*per {
+		t.Errorf("total %d, want %d", got, workers*per)
+	}
+}
+
+func TestCounterPanicsOnZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 workers")
+		}
+	}()
+	NewCounter(0)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	// 1000 observations at ~1µs, 10 at ~1ms: p50 within the 1µs
+	// bucket's 2× bounds, p99+ near 1ms.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 1010 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 %v not around 1µs", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 512*time.Microsecond || p999 > 2*time.Millisecond {
+		t.Errorf("p99.9 %v not around 1ms", p999)
+	}
+	if h.Quantile(1) < h.Quantile(0) {
+		t.Error("quantiles not monotone at extremes")
+	}
+	if h.Mean() <= 0 || h.Sum() <= 0 {
+		t.Error("mean/sum not positive")
+	}
+	// Out-of-range q values clamp rather than panic.
+	h.Observe(-time.Second) // clamps to 0
+	_ = h.Quantile(-1)
+	_ = h.Quantile(2)
+}
+
+func TestHistogramSnapshotJSON(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	raw, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s HistogramSnapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Type != "histogram" || s.Count != 2 {
+		t.Errorf("snapshot %+v", s)
+	}
+	if math.Abs(s.Seconds-0.008) > 1e-9 {
+		t.Errorf("sum %v, want 0.008", s.Seconds)
+	}
+	if len(s.Buckets) == 0 {
+		t.Error("no buckets exported")
+	}
+}
+
+func TestPhaseTimer(t *testing.T) {
+	pt := NewPhaseTimer()
+	done := pt.Start("setup")
+	time.Sleep(time.Millisecond)
+	done()
+	pt.Add("setup", 2*time.Millisecond)
+	pt.Add("run", 5*time.Millisecond)
+	snap := pt.Snapshot().(PhaseTimerSnapshot)
+	if len(snap.Phases) != 2 {
+		t.Fatalf("%d phases", len(snap.Phases))
+	}
+	if snap.Phases[0].Name != "setup" || snap.Phases[0].Count != 2 {
+		t.Errorf("first phase %+v", snap.Phases[0])
+	}
+	if snap.Phases[0].Seconds < 0.003 {
+		t.Errorf("setup seconds %v too small", snap.Phases[0].Seconds)
+	}
+	if snap.Phases[1].Name != "run" {
+		t.Errorf("phase order %+v", snap.Phases)
+	}
+}
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("items", 2)
+	c.Add(0, 3)
+	c.Add(1, 4)
+	r.Histogram("lat").Observe(time.Millisecond)
+	r.PhaseTimer("phases").Add("fig1", time.Second)
+	r.Register("gauge", GaugeFunc(func() any { return 42 }))
+
+	// Re-acquiring by name returns the same instances.
+	if r.Counter("items", 2) != c {
+		t.Error("Counter did not return existing instance")
+	}
+	if r.Histogram("lat") == nil || r.PhaseTimer("phases") == nil {
+		t.Error("re-acquire failed")
+	}
+
+	names := r.Names()
+	if len(names) != 4 || names[0] != "gauge" {
+		t.Errorf("names %v", names)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, buf.String())
+	}
+	var cs CounterSnapshot
+	if err := json.Unmarshal(decoded["items"], &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Total != 7 || len(cs.PerWorker) != 2 {
+		t.Errorf("counter snapshot %+v", cs)
+	}
+}
+
+func TestRegistryPublishIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", 1).Inc(0)
+	r.Publish("metrics_test_registry")
+	// Publishing again (same or another registry) must not panic.
+	r.Publish("metrics_test_registry")
+	NewRegistry().Publish("metrics_test_registry")
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty name")
+		}
+	}()
+	NewRegistry().Register("", GaugeFunc(func() any { return nil }))
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

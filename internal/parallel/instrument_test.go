@@ -1,0 +1,232 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInstrumentedCoverAllItemsOnce(t *testing.T) {
+	run := map[string]func(items, workers int, fn func(w, i int), obs Observer) Stats{
+		"round-robin": RoundRobinInstrumented,
+		"dynamic":     DynamicInstrumented,
+	}
+	for name, f := range run {
+		for _, workers := range []int{1, 2, 3, 8} {
+			const items = 200
+			var mu sync.Mutex
+			counts := make([]int, items)
+			st := f(items, workers, func(_, i int) {
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			}, nil)
+			for i, c := range counts {
+				if c != 1 {
+					t.Errorf("%s workers=%d: item %d ran %d times", name, workers, i, c)
+				}
+			}
+			if st.Strategy != name || st.Items != items || len(st.Workers) != workers {
+				t.Errorf("%s workers=%d: stats %+v", name, workers, st)
+			}
+			total := 0
+			for _, w := range st.Workers {
+				total += w.Items
+			}
+			if total != items {
+				t.Errorf("%s workers=%d: worker items sum %d, want %d", name, workers, total, items)
+			}
+			if st.Elapsed <= 0 {
+				t.Errorf("%s: non-positive elapsed %v", name, st.Elapsed)
+			}
+		}
+	}
+}
+
+func TestRoundRobinInstrumentedAssignmentPattern(t *testing.T) {
+	const items, workers = 12, 4
+	var mu sync.Mutex
+	owner := make([]int, items)
+	st := RoundRobinInstrumented(items, workers, func(w, i int) {
+		mu.Lock()
+		owner[i] = w
+		mu.Unlock()
+	}, nil)
+	for i := range owner {
+		if owner[i] != i%workers {
+			t.Errorf("item %d owned by %d, want %d", i, owner[i], i%workers)
+		}
+	}
+	for w, ws := range st.Workers {
+		if ws.Items != items/workers {
+			t.Errorf("worker %d ran %d items, want %d", w, ws.Items, items/workers)
+		}
+		if ws.Busy <= 0 {
+			t.Errorf("worker %d has zero busy time", w)
+		}
+	}
+}
+
+func TestInstrumentedSingleWorkerDeterministic(t *testing.T) {
+	var order []int
+	RoundRobinInstrumented(5, 1, func(_, i int) { order = append(order, i) }, nil)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single-worker order %v", order)
+		}
+	}
+	order = nil
+	DynamicInstrumented(5, 1, func(_, i int) { order = append(order, i) }, nil)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single-worker dynamic order %v", order)
+		}
+	}
+}
+
+func TestObserverSeesEveryItem(t *testing.T) {
+	const items, workers = 50, 4
+	var mu sync.Mutex
+	seen := make([]int, items)
+	obs := func(w, i int, start time.Time, dur time.Duration) {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		if start.IsZero() || dur < 0 {
+			t.Errorf("item %d: bad observation start=%v dur=%v", i, start, dur)
+		}
+	}
+	DynamicInstrumented(items, workers, func(_, _ int) {}, obs)
+	RoundRobinInstrumented(items, workers, func(_, _ int) {}, obs)
+	for i, c := range seen {
+		if c != 2 {
+			t.Errorf("item %d observed %d times, want 2", i, c)
+		}
+	}
+}
+
+func TestImbalanceFactor(t *testing.T) {
+	// Perfectly balanced.
+	s := Stats{Workers: []WorkerStat{{Items: 1, Busy: time.Second}, {Items: 1, Busy: time.Second}}}
+	if f := s.ImbalanceFactor(); f != 1 {
+		t.Errorf("balanced factor %v, want 1", f)
+	}
+	// One worker does everything: factor = W.
+	s = Stats{Workers: []WorkerStat{{Busy: time.Second}, {}, {}, {}}}
+	if f := s.ImbalanceFactor(); f != 4 {
+		t.Errorf("degenerate factor %v, want 4", f)
+	}
+	// Empty stats.
+	if f := (Stats{}).ImbalanceFactor(); f != 0 {
+		t.Errorf("empty factor %v, want 0", f)
+	}
+}
+
+func TestImbalanceDetectsSkewedLoad(t *testing.T) {
+	// Item 0 is 100× the cost of the rest; round-robin pins it to worker
+	// 0 along with an equal share of cheap items, so worker 0's busy time
+	// dominates and the factor must exceed 1 clearly.
+	const items, workers = 16, 4
+	work := func(_, i int) {
+		d := time.Microsecond
+		if i == 0 {
+			d = 2 * time.Millisecond
+		}
+		busyWait(d)
+	}
+	st := RoundRobinInstrumented(items, workers, work, nil)
+	if f := st.ImbalanceFactor(); f < 1.5 {
+		t.Errorf("skewed round-robin imbalance %v, want >= 1.5", f)
+	}
+}
+
+// busyWait spins rather than sleeping so busy time is real CPU time and
+// not scheduler latency.
+func busyWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func TestInstrumentedZeroItems(t *testing.T) {
+	st := DynamicInstrumented(0, 3, func(_, _ int) { t.Error("ran") }, nil)
+	if st.ImbalanceFactor() != 0 {
+		t.Errorf("zero-item imbalance %v", st.ImbalanceFactor())
+	}
+	for _, w := range st.Workers {
+		if w.Items != 0 || w.Busy != 0 {
+			t.Errorf("zero-item worker stat %+v", w)
+		}
+	}
+}
+
+func TestInstrumentedInvalidWorkersPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RoundRobinInstrumented(1, 0, func(_, _ int) {}, nil) },
+		func() { DynamicInstrumented(1, 0, func(_, _ int) {}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for 0 workers")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// benchWork is a small fixed workload per item (~400ns of arithmetic on
+// a private accumulator), sized like a cheap pencil so the benchmarks
+// expose scheduling overhead rather than hiding it behind heavy items.
+var benchSink [64]float64
+
+func benchWork(w, i int) {
+	x := float64(i) + 1
+	for n := 0; n < 100; n++ {
+		x = x*1.000001 + 0.5
+	}
+	benchSink[w%len(benchSink)] = x
+}
+
+const benchItems = 4096
+
+// benchWorkers matches the available parallelism: oversubscribing (e.g.
+// 8 workers on a 1-CPU runner) would make these benchmarks measure Go
+// scheduler churn instead of the instrumentation under test.
+func benchWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func BenchmarkRoundRobin(b *testing.B) {
+	w := benchWorkers()
+	for n := 0; n < b.N; n++ {
+		RoundRobin(benchItems, w, benchWork)
+	}
+}
+
+func BenchmarkRoundRobinInstrumented(b *testing.B) {
+	w := benchWorkers()
+	for n := 0; n < b.N; n++ {
+		RoundRobinInstrumented(benchItems, w, benchWork, nil)
+	}
+}
+
+func BenchmarkDynamic(b *testing.B) {
+	w := benchWorkers()
+	for n := 0; n < b.N; n++ {
+		Dynamic(benchItems, w, benchWork)
+	}
+}
+
+func BenchmarkDynamicInstrumented(b *testing.B) {
+	w := benchWorkers()
+	for n := 0; n < b.N; n++ {
+		DynamicInstrumented(benchItems, w, benchWork, nil)
+	}
+}

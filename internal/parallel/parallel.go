@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Axis selects the pencil direction.
@@ -156,6 +157,202 @@ func Dynamic(items, workers int, fn func(worker, item int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// Observer receives one completed work item from an instrumented run:
+// which worker ran item, when it started, and how long it took. Passing
+// a nil Observer disables per-item timing entirely, leaving only the
+// two per-worker clock reads.
+type Observer func(worker, item int, start time.Time, dur time.Duration)
+
+// WorkerStat is one worker's share of an instrumented run.
+type WorkerStat struct {
+	// Items is how many work items the worker executed.
+	Items int `json:"items"`
+	// Busy is the worker's span from its first item start to its last
+	// item end — for these strategies workers never block mid-run, so
+	// the span is working time. A worker that got no items has zero.
+	Busy time.Duration `json:"busy_ns"`
+}
+
+// Stats summarizes an instrumented run. The paper's §III compares the
+// round-robin and dynamic-queue strategies by how evenly they spread
+// work; ImbalanceFactor is that comparison as a single number.
+type Stats struct {
+	// Strategy is "round-robin" or "dynamic".
+	Strategy string `json:"strategy"`
+	// Items is the total work-item count.
+	Items int `json:"items"`
+	// Elapsed is the wall-clock of the whole run (all workers).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Workers holds one entry per worker.
+	Workers []WorkerStat `json:"workers"`
+}
+
+// ImbalanceFactor returns max(busy)/mean(busy) across workers: 1.0 is a
+// perfectly balanced run, W is one worker doing everything while W-1
+// idle. Returns 0 when nothing ran.
+func (s Stats) ImbalanceFactor() float64 {
+	var sum, max time.Duration
+	for _, w := range s.Workers {
+		sum += w.Busy
+		if w.Busy > max {
+			max = w.Busy
+		}
+	}
+	if sum == 0 || len(s.Workers) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.Workers))
+	return float64(max) / mean
+}
+
+// instrumentedShell runs body once per worker (inline for one worker,
+// preserving the plain strategies' serial determinism) and assembles the
+// Stats. Each worker's bookkeeping is local until its single WorkerStat
+// store at the end, so the shell adds no shared-memory traffic to the
+// measured loops.
+func instrumentedShell(strategy string, items, workers int, body func(w int) WorkerStat) Stats {
+	st := Stats{Strategy: strategy, Items: items, Workers: make([]WorkerStat, workers)}
+	begin := time.Now()
+	if workers == 1 {
+		st.Workers[0] = body(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				st.Workers[w] = body(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	st.Elapsed = time.Since(begin)
+	return st
+}
+
+// RoundRobinInstrumented is RoundRobin with per-worker accounting: it
+// returns each worker's item count and busy time, and optionally reports
+// every completed item to obs. Semantics (ordering, determinism with one
+// worker, panics) match RoundRobin. With a nil obs the measured loop is
+// the plain strategy's loop plus a local counter and two clock reads per
+// worker — overhead below the benchmarks' noise floor.
+func RoundRobinInstrumented(items, workers int, fn func(worker, item int), obs Observer) Stats {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	if obs == nil {
+		return instrumentedShell("round-robin", items, workers, func(w int) (ws WorkerStat) {
+			if w >= items {
+				return
+			}
+			first := time.Now()
+			for i := w; i < items; i += workers {
+				fn(w, i)
+				ws.Items++
+			}
+			ws.Busy = time.Since(first)
+			return
+		})
+	}
+	return instrumentedShell("round-robin", items, workers, func(w int) (ws WorkerStat) {
+		var first time.Time
+		for i := w; i < items; i += workers {
+			start := time.Now()
+			if ws.Items == 0 {
+				first = start
+			}
+			fn(w, i)
+			obs(w, i, start, time.Since(start))
+			ws.Items++
+		}
+		if ws.Items > 0 {
+			ws.Busy = time.Since(first)
+		}
+		return
+	})
+}
+
+// DynamicInstrumented is Dynamic with per-worker accounting; see
+// RoundRobinInstrumented.
+func DynamicInstrumented(items, workers int, fn func(worker, item int), obs Observer) Stats {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	if workers == 1 {
+		// Like plain Dynamic, a single worker drains the queue in order
+		// with no atomics.
+		return instrumentedShell("dynamic", items, 1, func(_ int) (ws WorkerStat) {
+			if items == 0 {
+				return
+			}
+			first := time.Now()
+			if obs == nil {
+				for i := 0; i < items; i++ {
+					fn(0, i)
+					ws.Items++
+				}
+			} else {
+				for i := 0; i < items; i++ {
+					start := time.Now()
+					fn(0, i)
+					obs(0, i, start, time.Since(start))
+					ws.Items++
+				}
+			}
+			ws.Busy = time.Since(first)
+			return
+		})
+	}
+	var next int64
+	claim := func() int {
+		i := int(atomic.AddInt64(&next, 1) - 1)
+		if i >= items {
+			return -1
+		}
+		return i
+	}
+	if obs == nil {
+		return instrumentedShell("dynamic", items, workers, func(w int) (ws WorkerStat) {
+			var first time.Time
+			for {
+				i := claim()
+				if i < 0 {
+					break
+				}
+				if ws.Items == 0 {
+					first = time.Now()
+				}
+				fn(w, i)
+				ws.Items++
+			}
+			if ws.Items > 0 {
+				ws.Busy = time.Since(first)
+			}
+			return
+		})
+	}
+	return instrumentedShell("dynamic", items, workers, func(w int) (ws WorkerStat) {
+		var first time.Time
+		for {
+			i := claim()
+			if i < 0 {
+				break
+			}
+			start := time.Now()
+			if ws.Items == 0 {
+				first = start
+			}
+			fn(w, i)
+			obs(w, i, start, time.Since(start))
+			ws.Items++
+		}
+		if ws.Items > 0 {
+			ws.Busy = time.Since(first)
+		}
+		return
+	})
 }
 
 // Tile is a rectangular region of an image: pixels [X0,X1) × [Y0,Y1).

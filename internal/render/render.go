@@ -50,6 +50,12 @@ type Options struct {
 	EmptySkip bool
 	// AccelEdge is the macrocell edge for EmptySkip; zero defaults to 8.
 	AccelEdge int
+	// Stats, if non-nil, receives per-worker scheduling statistics
+	// (item counts, busy time) for the tile distribution.
+	Stats *parallel.Stats
+	// Observer, if non-nil, is called once per completed tile with the
+	// worker, tile index, and timing. Enables timeline recording.
+	Observer parallel.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -139,11 +145,7 @@ func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (
 	tiles := parallel.Tiles(cam.Width, cam.Height, o.TileSize)
 	lo := Vec3{0, 0, 0}
 	hi := Vec3{float64(nx - 1), float64(ny - 1), float64(nz - 1)}
-	schedule := parallel.Dynamic
-	if o.Schedule == StaticSchedule {
-		schedule = parallel.RoundRobin
-	}
-	schedule(len(tiles), o.Workers, func(w, ti int) {
+	tile := func(w, ti int) {
 		vol := views[w]
 		t := tiles[ti]
 		for py := t.Y0; py < t.Y1; py++ {
@@ -151,7 +153,23 @@ func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (
 				img.Set(px, py, castRay(vol, cam, tf, o, px, py, lo, hi, accel, skipBelow))
 			}
 		}
-	})
+	}
+	if o.Stats != nil || o.Observer != nil {
+		instrumented := parallel.DynamicInstrumented
+		if o.Schedule == StaticSchedule {
+			instrumented = parallel.RoundRobinInstrumented
+		}
+		st := instrumented(len(tiles), o.Workers, tile, o.Observer)
+		if o.Stats != nil {
+			*o.Stats = st
+		}
+	} else {
+		schedule := parallel.Dynamic
+		if o.Schedule == StaticSchedule {
+			schedule = parallel.RoundRobin
+		}
+		schedule(len(tiles), o.Workers, tile)
+	}
 	return img, nil
 }
 

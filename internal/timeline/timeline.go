@@ -1,0 +1,205 @@
+// Package timeline records per-worker begin/end events during a run —
+// pencil batches, render tiles, cache-sim replay chunks, harness phases —
+// and exports them as Chrome trace_event JSON, the format chrome://tracing
+// and Perfetto (ui.perfetto.dev) open directly. One recorder spans a whole
+// run: every event carries a worker lane (the trace "tid") and a start
+// offset from the recorder's epoch, so the exported file shows the actual
+// interleaving of the paper's two scheduling strategies.
+//
+// Recording is bounded: past MaxEvents the recorder counts drops instead
+// of growing without limit, so attaching a timeline to a full figure
+// sweep cannot exhaust memory.
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxEvents caps a recorder's stored events (~48 MB worst case).
+const DefaultMaxEvents = 1 << 20
+
+// Event is one completed span on a worker lane. Start is the offset from
+// the recorder's epoch. Item is the work-item index for scheduler events,
+// or -1 for phases and other non-item spans.
+type Event struct {
+	Name   string
+	Worker int
+	Item   int
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// Recorder collects events. All methods are safe for concurrent use.
+type Recorder struct {
+	// MaxEvents bounds stored events; set before recording starts.
+	MaxEvents int
+
+	epoch   time.Time
+	mu      sync.Mutex
+	events  []Event
+	dropped uint64
+}
+
+// NewRecorder returns a recorder whose epoch is now.
+func NewRecorder() *Recorder {
+	return &Recorder{MaxEvents: DefaultMaxEvents, epoch: time.Now()}
+}
+
+// Epoch returns the recorder's time origin.
+func (r *Recorder) Epoch() time.Time { return r.epoch }
+
+// Span records a completed span that began at start and lasted dur.
+func (r *Recorder) Span(worker int, name string, start time.Time, dur time.Duration) {
+	r.add(Event{Name: name, Worker: worker, Item: -1, Start: start.Sub(r.epoch), Dur: dur})
+}
+
+// ItemSpan records a completed work item (a pencil, tile, or replay
+// chunk) with its scheduler index.
+func (r *Recorder) ItemSpan(worker, item int, name string, start time.Time, dur time.Duration) {
+	r.add(Event{Name: name, Worker: worker, Item: item, Start: start.Sub(r.epoch), Dur: dur})
+}
+
+// Begin starts a span on a worker lane; invoke the returned func to
+// finish and record it.
+func (r *Recorder) Begin(worker int, name string) func() {
+	start := time.Now()
+	return func() { r.Span(worker, name, start, time.Since(start)) }
+}
+
+// Observer returns a per-item callback with the signature of
+// parallel.Observer, labelling every item span with name. A nil *Recorder
+// returns nil, so call sites can pass an optional recorder through.
+func (r *Recorder) Observer(name string) func(worker, item int, start time.Time, dur time.Duration) {
+	if r == nil {
+		return nil
+	}
+	return func(worker, item int, start time.Time, dur time.Duration) {
+		r.ItemSpan(worker, item, name, start, dur)
+	}
+}
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	max := r.MaxEvents
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	if len(r.events) >= max {
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events the cap discarded.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns a copy of the stored events sorted by start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Workers returns the sorted set of worker lanes that recorded at least
+// one event.
+func (r *Recorder) Workers() []int {
+	r.mu.Lock()
+	seen := make(map[int]bool)
+	for i := range r.events {
+		seen[r.events[i].Worker] = true
+	}
+	r.mu.Unlock()
+	out := make([]int, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// traceEvent is one Chrome trace_event object. Complete events (ph "X")
+// carry microsecond ts/dur; metadata events (ph "M") name the process
+// and threads.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePID = 1
+
+// WriteChromeTrace writes the recorded events as Chrome trace_event JSON
+// ("X" complete events, one trace thread per worker lane). Open the file
+// at chrome://tracing or ui.perfetto.dev.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	ct := chromeTrace{
+		TraceEvents:     make([]traceEvent, 0, len(events)+1+len(events)/8),
+		DisplayTimeUnit: "ms",
+	}
+	ct.TraceEvents = append(ct.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "sfcmem"},
+	})
+	for _, wk := range r.Workers() {
+		ct.TraceEvents = append(ct.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: wk,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
+		})
+	}
+	for _, e := range events {
+		dur := micros(e.Dur)
+		te := traceEvent{
+			Name: e.Name,
+			Cat:  "sfcmem",
+			Ph:   "X",
+			TS:   micros(e.Start),
+			Dur:  &dur,
+			PID:  tracePID,
+			TID:  e.Worker,
+		}
+		if e.Item >= 0 {
+			te.Args = map[string]any{"item": e.Item}
+		}
+		ct.TraceEvents = append(ct.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// micros converts a duration to trace-format microseconds, keeping
+// sub-microsecond resolution as a fraction.
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,166 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanAndItemSpan(t *testing.T) {
+	r := NewRecorder()
+	base := r.Epoch()
+	r.Span(0, "phase", base.Add(time.Millisecond), 2*time.Millisecond)
+	r.ItemSpan(1, 7, "tile", base.Add(3*time.Millisecond), time.Millisecond)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Name != "phase" || evs[0].Item != -1 || evs[0].Start != time.Millisecond {
+		t.Errorf("first event %+v", evs[0])
+	}
+	if evs[1].Worker != 1 || evs[1].Item != 7 {
+		t.Errorf("second event %+v", evs[1])
+	}
+	if got := r.Workers(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("workers %v", got)
+	}
+}
+
+func TestBegin(t *testing.T) {
+	r := NewRecorder()
+	done := r.Begin(3, "work")
+	time.Sleep(time.Millisecond)
+	done()
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Worker != 3 || evs[0].Dur < time.Millisecond/2 {
+		t.Errorf("events %+v", evs)
+	}
+}
+
+func TestObserverNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Observer("x") != nil {
+		t.Error("nil recorder must give nil observer")
+	}
+}
+
+func TestObserverRecords(t *testing.T) {
+	r := NewRecorder()
+	obs := r.Observer("pencil")
+	obs(2, 41, time.Now(), time.Microsecond)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Name != "pencil" || evs[0].Item != 41 || evs[0].Worker != 2 {
+		t.Errorf("events %+v", evs)
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	r := NewRecorder()
+	r.MaxEvents = 10
+	now := time.Now()
+	for i := 0; i < 25; i++ {
+		r.Span(0, "e", now, time.Microsecond)
+	}
+	if r.Len() != 10 {
+		t.Errorf("len %d, want 10", r.Len())
+	}
+	if r.Dropped() != 15 {
+		t.Errorf("dropped %d, want 15", r.Dropped())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obs := r.Observer("item")
+			for i := 0; i < 500; i++ {
+				obs(w, i, time.Now(), time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 8*500 {
+		t.Errorf("len %d, want %d", r.Len(), 8*500)
+	}
+	if len(r.Workers()) != 8 {
+		t.Errorf("workers %v", r.Workers())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	base := r.Epoch()
+	r.Span(0, "fig2", base, 10*time.Millisecond)
+	r.ItemSpan(0, 0, "pencil", base.Add(time.Millisecond), 500*time.Microsecond)
+	r.ItemSpan(1, 1, "pencil", base.Add(time.Millisecond), 750*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", tr.DisplayTimeUnit)
+	}
+	// Every worker lane must carry at least one "X" event, and metadata
+	// must name the process and both threads.
+	perWorkerX := map[int]int{}
+	var meta int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			perWorkerX[e.TID]++
+			if e.Dur <= 0 {
+				t.Errorf("event %q has non-positive dur %v", e.Name, e.Dur)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if perWorkerX[0] != 2 || perWorkerX[1] != 1 {
+		t.Errorf("per-worker X counts %v", perWorkerX)
+	}
+	if meta != 3 { // process_name + 2 thread_names
+		t.Errorf("%d metadata events, want 3", meta)
+	}
+	// Item index must survive into args.
+	found := false
+	for _, e := range tr.TraceEvents {
+		if e.Name == "pencil" && e.Args != nil {
+			if v, ok := e.Args["item"]; ok && v.(float64) == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("item arg missing from pencil events")
+	}
+}
+
+func TestMicros(t *testing.T) {
+	if got := micros(1500 * time.Nanosecond); got != 1.5 {
+		t.Errorf("micros = %v, want 1.5", got)
+	}
+}

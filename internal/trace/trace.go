@@ -78,12 +78,14 @@ func (t *Writer) Access(addr uint64, write bool) {
 func (t *Writer) Count() uint64 { return t.count }
 
 // Flush drains buffered records and reports any latched write error.
+// A failed flush latches too, so later Access calls no-op instead of
+// silently recording into a stream that can never be drained.
 func (t *Writer) Flush() error {
+	if t.err == nil {
+		t.err = t.bw.Flush()
+	}
 	if t.err != nil {
 		return fmt.Errorf("trace: %w", t.err)
-	}
-	if err := t.bw.Flush(); err != nil {
-		return fmt.Errorf("trace: %w", err)
 	}
 	return nil
 }

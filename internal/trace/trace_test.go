@@ -129,6 +129,64 @@ func TestWriteErrorLatched(t *testing.T) {
 	}
 }
 
+// Once the underlying writer fails mid-stream, the writer must latch:
+// Count stops advancing, further Access calls are no-ops, and every
+// subsequent Flush keeps reporting the error.
+func TestWriteErrorStopsRecording(t *testing.T) {
+	w, err := NewWriter(&failWriter{after: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large deltas encode to ~9-10 bytes each, so well under 1<<17
+	// records overflow the 64KB buffer and hit the failing writer.
+	for i := 0; i < 1<<17; i++ {
+		w.Access(uint64(i)*1e9, false)
+	}
+	stopped := w.Count()
+	if stopped >= 1<<17 {
+		t.Fatalf("count %d never stopped despite write failure", stopped)
+	}
+	w.Access(42, true)
+	w.Access(43, false)
+	if w.Count() != stopped {
+		t.Errorf("count advanced %d -> %d after latched error", stopped, w.Count())
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("first Flush after failure returned nil")
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("second Flush after failure returned nil")
+	}
+}
+
+// A writer that only fails at flush time (everything fit in the bufio
+// buffer) must still latch: Flush errors, and Access afterwards no-ops.
+func TestFlushErrorLatched(t *testing.T) {
+	// The header only reaches the underlying writer at flush time (it is
+	// buffered), so after:0 means the very first real write — the flush —
+	// fails.
+	w, err := NewWriter(&failWriter{after: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ { // stays far below the 64KB buffer
+		w.Access(uint64(i), false)
+	}
+	if w.Count() != 100 {
+		t.Fatalf("count %d before flush, want 100", w.Count())
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush-time write error not reported")
+	}
+	w.Access(7, true)
+	if w.Count() != 100 {
+		t.Errorf("Access recorded after failed Flush (count %d)", w.Count())
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("error not latched across Flush calls")
+	}
+}
+
 func TestMultiSink(t *testing.T) {
 	var a, b recordSink
 	m := MultiSink{&a, &b}
