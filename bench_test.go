@@ -323,6 +323,66 @@ func BenchmarkAblationIndexCost(b *testing.B) {
 	}
 }
 
+// --- A7: flat-access fast-path ablation --------------------------------
+
+// BenchmarkFastPathBilatR5 measures what the flat-access fast path buys
+// on the paper's heaviest bilateral configuration (r5, 11³ stencil):
+// flat resolves the layout to raw buffer + per-axis offset tables once
+// per pencil batch, iface forces the generic Reader.At → Layout.Index
+// double-dispatch per access. DESIGN.md §7 records the numbers.
+func BenchmarkFastPathBilatR5(b *testing.B) {
+	const n = 32
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind} {
+		for _, path := range []struct {
+			name string
+			off  bool
+		}{{"flat", false}, {"iface", true}} {
+			b.Run(kind.String()+"/"+path.name, func(b *testing.B) {
+				src := mriFor(b, kind, n)
+				dst := grid.New(core.New(kind, n, n, n))
+				opts := filter.Options{
+					Radius: 5, Axis: parallel.AxisX, Order: filter.XYZ,
+					Workers: 4, NoFastPath: path.off,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := filter.Apply(src, dst, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFastPathVolrend is the renderer-side ablation: trilinear
+// sampling and shading gradients through the flat view vs the interface
+// path, on the oblique view 2.
+func BenchmarkFastPathVolrend(b *testing.B) {
+	const n = 64
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind} {
+		for _, path := range []struct {
+			name string
+			off  bool
+		}{{"flat", false}, {"iface", true}} {
+			b.Run(kind.String()+"/"+path.name, func(b *testing.B) {
+				vol := plumeFor(b, kind, n)
+				cam := render.Orbit(2, 8, n, n, n, 128, 128)
+				tf := render.DefaultTransferFunc()
+				o := render.Options{Workers: 4, NoFastPath: path.off}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					im, err := render.Render(vol, cam, tf, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchImgSum += im.MeanAlpha()
+				}
+			})
+		}
+	}
+}
+
 // A sanity assertion disguised as a test so bench runs that include
 // tests verify the public API is alive.
 func TestBenchInputsAreSane(t *testing.T) {

@@ -65,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Uint64("seed", 0, "override dataset seed")
 		ivy         = fs.String("ivy-threads", "", "override IvyBridge thread sweep, e.g. 2,8,24")
 		mic         = fs.String("mic-threads", "", "override MIC thread sweep, e.g. 59,118")
+		noFastPath  = fs.Bool("no-fastpath", false, "disable the kernels' flat-access fast path (ablation; wall-clock runs only)")
 		verbose     = fs.Bool("v", false, "print progress for each cell")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.NoFastPath = *noFastPath
 	var err error
 	if cfg.IvyThreads, err = parseThreads(*ivy, cfg.IvyThreads); err != nil {
 		return fatal(stderr, err)

@@ -5,6 +5,7 @@ import (
 
 	"sfcmem/internal/core"
 	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
 	"sfcmem/internal/multires"
 	"sfcmem/internal/reuse"
 	"sfcmem/internal/trace"
@@ -112,6 +113,24 @@ func SubsampleCost(l Layout, level int) (QueryCost, error) {
 func GaussianSeparable(src Reader, dst Writer, o FilterOptions) error {
 	return filter.GaussianSeparable(src, dst, o)
 }
+
+// SeparableLayout is implemented by layouts whose index factors into
+// per-axis offset tables: Index(i,j,k) = xs[i] + ys[j] + zs[k]. Array
+// order, Z order, Tiled, and ZTiled are separable; Hilbert and
+// hierarchical Z order are not (their bit transforms couple the axes).
+// Separable layouts power the kernels' flat-access fast path
+// (DESIGN.md §7).
+type SeparableLayout = core.Separable
+
+// FlatGrid is a devirtualized view of a grid under a separable layout:
+// the raw sample buffer plus the per-axis offset tables, for hot loops
+// that cannot afford two interface dispatches per access.
+type FlatGrid = grid.Flat
+
+// Flatten returns the flat view when r is a plain grid with a separable
+// layout, and nil otherwise — in particular for traced views, which
+// must keep every access observable on the interface path.
+func Flatten(r Reader) *FlatGrid { return grid.Flatten(r) }
 
 // SaveRawVolume writes a grid as little-endian float32 in row-major
 // order (the interchange format of most scientific-visualization data).

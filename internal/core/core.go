@@ -88,8 +88,11 @@ func (k Kind) String() string {
 }
 
 // ParseKind maps a layout name (as accepted by the command-line tools)
-// to its Kind. Recognized: "array"/"a", "zorder"/"z"/"morton",
-// "tiled"/"blocked", "hilbert"/"h".
+// to its Kind, folding case and surrounding whitespace. Recognized:
+// "array"/"a"/"row-major"/"rowmajor", "zorder"/"z"/"morton"/"z-order",
+// "tiled"/"blocked"/"t", "hilbert"/"h",
+// "ztiled"/"zt"/"morton-tiled"/"bricked", and
+// "hzorder"/"hz"/"hierarchical".
 func ParseKind(s string) (Kind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "array", "a", "row-major", "rowmajor":
@@ -142,6 +145,7 @@ func checkDims(nx, ny, nz int) {
 // ArrayOrder is the traditional row-major layout, implemented with the
 // paper's offset tables so its index cost matches ZOrder's.
 type ArrayOrder struct {
+	xoffset    []int // xoffset[i] = i (identity; completes AxisOffsets)
 	yoffset    []int // yoffset[j] = j * nx
 	zoffset    []int // zoffset[k] = k * nx * ny
 	nx, ny, nz int
@@ -151,6 +155,10 @@ type ArrayOrder struct {
 func NewArrayOrder(nx, ny, nz int) *ArrayOrder {
 	checkDims(nx, ny, nz)
 	a := &ArrayOrder{nx: nx, ny: ny, nz: nz}
+	a.xoffset = make([]int, nx)
+	for i := 0; i < nx; i++ {
+		a.xoffset[i] = i
+	}
 	a.yoffset = make([]int, ny)
 	for j := 0; j < ny; j++ {
 		a.yoffset[j] = j * nx
@@ -177,6 +185,7 @@ func (a *ArrayOrder) Name() string { return "array" }
 // ZOrder is the Z-order (Morton) space-filling curve layout.
 type ZOrder struct {
 	t          *morton.Table3
+	xi, yi, zi []int // the Table3 dilated contributions as ints (AxisOffsets)
 	nx, ny, nz int
 	length     int
 }
@@ -186,7 +195,20 @@ type ZOrder struct {
 func NewZOrder(nx, ny, nz int) *ZOrder {
 	checkDims(nx, ny, nz)
 	t := morton.NewTable3(nx, ny, nz)
-	return &ZOrder{t: t, nx: nx, ny: ny, nz: nz, length: t.PaddedLen()}
+	z := &ZOrder{t: t, nx: nx, ny: ny, nz: nz, length: t.PaddedLen()}
+	z.xi = make([]int, nx)
+	z.yi = make([]int, ny)
+	z.zi = make([]int, nz)
+	for i := 0; i < nx; i++ {
+		z.xi[i] = int(t.Index(i, 0, 0))
+	}
+	for j := 0; j < ny; j++ {
+		z.yi[j] = int(t.Index(0, j, 0))
+	}
+	for k := 0; k < nz; k++ {
+		z.zi[k] = int(t.Index(0, 0, k))
+	}
+	return z
 }
 
 // Index returns the Morton code of (i,j,k) via three table loads and two
@@ -225,9 +247,11 @@ type Tiled struct {
 	// xr[i] = i%tile                    — intra-brick x offset
 	xb, yb, zb []int
 	xr, yr, zr []int
-	nx, ny, nz int
-	tile       int
-	length     int
+	// Combined per-axis tables xoff = xb+xr etc. (AxisOffsets).
+	xoff, yoff, zoff []int
+	nx, ny, nz       int
+	tile             int
+	length           int
 }
 
 // NewTiled builds a tiled layout with the given tile edge. Extents that
@@ -260,6 +284,9 @@ func NewTiled(nx, ny, nz, tile int) *Tiled {
 		t.zr[k] = (k % tile) * tile * tile
 	}
 	t.length = ceil(nz) * ty * tx * t3
+	t.xoff = sumAxes(t.xb, t.xr)
+	t.yoff = sumAxes(t.yb, t.yr)
+	t.zoff = sumAxes(t.zb, t.zr)
 	return t
 }
 

@@ -148,6 +148,8 @@ func TestParseKind(t *testing.T) {
 		"zorder": ZKind, "z": ZKind, "morton": ZKind, " Z-Order ": ZKind,
 		"tiled": TiledKind, "blocked": TiledKind,
 		"hilbert": HilbertKind, "h": HilbertKind,
+		"ztiled": ZTiledKind, "zt": ZTiledKind, "Morton-Tiled": ZTiledKind, "bricked": ZTiledKind,
+		"hzorder": HZKind, "hz": HZKind, "Hierarchical": HZKind,
 	}
 	for s, want := range good {
 		got, err := ParseKind(s)

@@ -26,9 +26,11 @@ type ZTiled struct {
 	xb, yb, zb []int
 	// Per-axis dilated intra-brick Morton contributions.
 	xm, ym, zm []int
-	nx, ny, nz int
-	brick      int
-	length     int
+	// Combined per-axis tables xoff = xb+xm etc. (AxisOffsets).
+	xoff, yoff, zoff []int
+	nx, ny, nz       int
+	brick            int
+	length           int
 }
 
 // DefaultBrick is the default ZTiled brick edge: 16³ float32 bricks are
@@ -66,6 +68,9 @@ func NewZTiled(nx, ny, nz, brick int) *ZTiled {
 		t.zm[k] = int(morton.Part1By2(uint64(k%brick)) << 2)
 	}
 	t.length = ceil(nz) * by * bx * b3
+	t.xoff = sumAxes(t.xb, t.xm)
+	t.yoff = sumAxes(t.yb, t.ym)
+	t.zoff = sumAxes(t.zb, t.zm)
 	return t
 }
 

@@ -20,6 +20,7 @@ package filter
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"sfcmem/internal/grid"
 	"sfcmem/internal/parallel"
@@ -45,12 +46,13 @@ func (o Order) String() string {
 	return "xyz"
 }
 
-// ParseOrder maps "xyz"/"zyx" to an Order.
+// ParseOrder maps "xyz"/"zyx" to an Order, folding case and surrounding
+// whitespace exactly like core.ParseKind and parallel.ParseAxis.
 func ParseOrder(s string) (Order, error) {
-	switch s {
-	case "xyz", "XYZ":
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "xyz":
 		return XYZ, nil
-	case "zyx", "ZYX":
+	case "zyx":
 		return ZYX, nil
 	}
 	return 0, fmt.Errorf("filter: unknown order %q", s)
@@ -81,6 +83,11 @@ type Options struct {
 	// Observer, if non-nil, is called once per completed pencil with the
 	// worker, pencil index, and timing. Enables timeline recording.
 	Observer parallel.Observer
+	// NoFastPath forces the generic interface path even for plain grids
+	// with separable layouts, disabling the flat-access fast path. Used
+	// by the fast-path ablation benches and cross-check tests; traced
+	// views always take the interface path regardless.
+	NoFastPath bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,15 +103,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validate checks the options exactly as the caller supplied them,
+// before withDefaults rewrites zeros — so an explicit invalid value is
+// reported truthfully while zero keeps meaning "use the default".
 func (o Options) validate() error {
 	if o.Radius < 1 {
 		return fmt.Errorf("filter: radius %d must be >= 1", o.Radius)
 	}
 	if o.SigmaSpatial < 0 || o.SigmaRange < 0 {
-		return fmt.Errorf("filter: sigmas must be non-negative")
+		return fmt.Errorf("filter: sigmas must be non-negative (zero selects the default)")
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("filter: workers %d must be >= 0", o.Workers)
+		return fmt.Errorf("filter: workers %d must be non-negative (zero selects the default)", o.Workers)
 	}
 	return nil
 }
@@ -112,8 +122,11 @@ func (o Options) validate() error {
 // rangeLUTSize is the resolution of the photometric-weight lookup table.
 // Computing exp() per neighbor sample would dominate the runtime and
 // drown the memory-locality signal the experiments measure, so the
-// photometric Gaussian is quantized; with 4096 bins over [0, 4σ] the
-// worst-case weight error is ~1e-3.
+// photometric Gaussian is quantized: entries sit at the knots i·w
+// (w = span/size) and lookups round to the nearest knot, so
+// rangeWeight(0) is exactly 1 and the worst-case weight error over
+// [0, 4σ] is a few 1e-4 (half-bin slope error plus the clipped
+// exp(-8) ≈ 3.4e-4 tail).
 const rangeLUTSize = 4096
 
 // rangeLUTSpan is how many standard deviations the LUT covers; beyond
@@ -147,7 +160,7 @@ func newKernel(o Options) *kernel {
 	k.rangeLUT = make([]float64, rangeLUTSize)
 	span := rangeLUTSpan * o.SigmaRange
 	for i := range k.rangeLUT {
-		x := (float64(i) + 0.5) / rangeLUTSize * span
+		x := float64(i) / rangeLUTSize * span
 		k.rangeLUT[i] = math.Exp(-x * x / (2 * o.SigmaRange * o.SigmaRange))
 	}
 	k.invBin = rangeLUTSize / span
@@ -155,12 +168,14 @@ func newKernel(o Options) *kernel {
 }
 
 // rangeWeight returns the quantized photometric weight for a value
-// difference dv.
+// difference dv, rounding to the nearest LUT knot. (Flooring would
+// systematically read the weight of a larger difference — off by up to
+// a whole bin, and rangeWeight(0) would not be 1.)
 func (k *kernel) rangeWeight(dv float64) float64 {
 	if dv < 0 {
 		dv = -dv
 	}
-	bin := int(dv * k.invBin)
+	bin := int(dv*k.invBin + 0.5)
 	if bin >= rangeLUTSize {
 		return 0
 	}
@@ -230,14 +245,63 @@ func (k *kernel) voxel(src grid.Reader, i, j, kk int) float32 {
 	return float32(num / den)
 }
 
+// voxelFlat is voxel on the flat fast path: the stencil loops run over
+// the raw buffer through the layout's per-axis offset tables, resolved
+// once per view instead of two interface dispatches per access. The
+// out-of-bounds `continue` skips become clamped loop bounds, which
+// visit exactly the same in-bounds neighbors in the same order — the
+// accumulation sequence, and therefore the result, is bit-identical to
+// the interface path.
+func (k *kernel) voxelFlat(f *grid.Flat, i, j, kk int) float32 {
+	r := k.opt.Radius
+	side := 2*r + 1
+	center := float64(f.Data[f.X[i]+f.Y[j]+f.Z[kk]])
+	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
+	ylo, yhi := max(-r, -j), min(r, f.Ny-1-j)
+	zlo, zhi := max(-r, -kk), min(r, f.Nz-1-kk)
+	var num, den float64
+	if k.opt.Order == XYZ {
+		for dz := zlo; dz <= zhi; dz++ {
+			zoff := f.Z[kk+dz]
+			for dy := ylo; dy <= yhi; dy++ {
+				yzoff := f.Y[j+dy] + zoff
+				base := ((dz+r)*side + (dy + r)) * side
+				for dx := xlo; dx <= xhi; dx++ {
+					v := float64(f.Data[f.X[i+dx]+yzoff])
+					w := k.spatial[base+dx+r] * k.rangeWeight(v-center)
+					num += w * v
+					den += w
+				}
+			}
+		}
+	} else {
+		for dx := xlo; dx <= xhi; dx++ {
+			xoff := f.X[i+dx]
+			for dy := ylo; dy <= yhi; dy++ {
+				xyoff := xoff + f.Y[j+dy]
+				for dz := zlo; dz <= zhi; dz++ {
+					v := float64(f.Data[xyoff+f.Z[kk+dz]])
+					w := k.spatial[((dz+r)*side+(dy+r))*side+dx+r] * k.rangeWeight(v-center)
+					num += w * v
+					den += w
+				}
+			}
+		}
+	}
+	if den == 0 {
+		return float32(center)
+	}
+	return float32(num / den)
+}
+
 // Apply runs the bilateral filter from src into dst with all workers
 // sharing the same views. src and dst must have identical dimensions
 // and must not alias (the filter is not in-place).
 func Apply(src grid.Reader, dst grid.Writer, o Options) error {
-	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return err
 	}
+	o = o.withDefaults()
 	srcs := make([]grid.Reader, o.Workers)
 	dsts := make([]grid.Writer, o.Workers)
 	for w := range srcs {
@@ -252,10 +316,10 @@ func Apply(src grid.Reader, dst grid.Writer, o Options) error {
 // traced view per simulated thread. len(srcs) and len(dsts) must equal
 // Workers (after defaulting); all views must agree on dimensions.
 func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
-	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return err
 	}
+	o = o.withDefaults()
 	if len(srcs) != o.Workers || len(dsts) != o.Workers {
 		return fmt.Errorf("filter: need %d views, got %d src / %d dst", o.Workers, len(srcs), len(dsts))
 	}
@@ -271,11 +335,30 @@ func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
 		}
 	}
 	k := newKernel(o)
+	// Resolve each worker's views to the flat fast path once, at setup:
+	// a plain *grid.Grid under a separable layout flattens to its raw
+	// buffer plus per-axis offset tables; traced views and non-separable
+	// layouts (Hilbert, HZ) resolve to nil and keep the interface path.
+	fsrcs := make([]*grid.Flat, o.Workers)
+	fdsts := make([]*grid.Flat, o.Workers)
+	if !o.NoFastPath {
+		for w := 0; w < o.Workers; w++ {
+			fsrcs[w] = grid.Flatten(srcs[w])
+			fdsts[w] = grid.FlattenWriter(dsts[w])
+		}
+	}
 	pencils := parallel.PencilCount(nx, ny, nz, o.Axis)
 	di, dj, dk := parallel.PencilStep(o.Axis)
 	pencil := func(w, p int) {
-		src, dst := srcs[w], dsts[w]
 		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
+		if fsrc, fdst := fsrcs[w], fdsts[w]; fsrc != nil && fdst != nil {
+			for s := 0; s < length; s++ {
+				fdst.Data[fdst.X[i]+fdst.Y[j]+fdst.Z[kk]] = k.voxelFlat(fsrc, i, j, kk)
+				i, j, kk = i+di, j+dj, kk+dk
+			}
+			return
+		}
+		src, dst := srcs[w], dsts[w]
 		for s := 0; s < length; s++ {
 			dst.Set(i, j, kk, k.voxel(src, i, j, kk))
 			i, j, kk = i+di, j+dj, kk+dk
@@ -308,11 +391,11 @@ func backingGrid(v any) *grid.Grid {
 // way: single-threaded, exact math.Exp photometric weights (no LUT).
 // Tests compare Apply against it within the LUT quantization tolerance.
 func Reference(src grid.Reader, dst grid.Writer, o Options) error {
-	o = o.withDefaults()
-	o.Workers = 1
 	if err := o.validate(); err != nil {
 		return err
 	}
+	o = o.withDefaults()
+	o.Workers = 1
 	nx, ny, nz := src.Dims()
 	r := o.Radius
 	inv2ss := 1 / (2 * o.SigmaSpatial * o.SigmaSpatial)
@@ -332,8 +415,8 @@ func Reference(src grid.Reader, dst grid.Writer, o Options) error {
 							v := float64(src.At(x, y, z))
 							d2 := float64(dx*dx + dy*dy + dz*dz)
 							dv := v - center
-							if math.Abs(dv) >= rangeLUTSpan*o.SigmaRange {
-								continue // match the LUT's zero tail
+							if math.Abs(dv) >= rangeLUTSpan*o.SigmaRange*(1-0.5/rangeLUTSize) {
+								continue // match the round-to-nearest LUT's zero tail
 							}
 							w := math.Exp(-d2*inv2ss) * math.Exp(-dv*dv*inv2sr)
 							num += w * v
@@ -358,48 +441,100 @@ func Reference(src grid.Reader, dst grid.Writer, o Options) error {
 // filter's edge preservation buys (Howison & Bethel 2014 comparison)
 // and as a second structured-access workload for the benches.
 func GaussianConvolve(src grid.Reader, dst grid.Writer, o Options) error {
-	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return err
 	}
+	o = o.withDefaults()
 	if backingGrid(src) != nil && backingGrid(src) == backingGrid(dst) {
 		return fmt.Errorf("filter: source and destination alias the same grid")
 	}
 	nx, ny, nz := src.Dims()
 	k := newKernel(o)
-	r := o.Radius
-	side := 2*r + 1
+	var fsrc, fdst *grid.Flat
+	if !o.NoFastPath {
+		fsrc, fdst = grid.Flatten(src), grid.FlattenWriter(dst)
+	}
 	pencils := parallel.PencilCount(nx, ny, nz, o.Axis)
 	di, dj, dk := parallel.PencilStep(o.Axis)
-	parallel.RoundRobin(pencils, o.Workers, func(_, p int) {
+	pencil := func(_, p int) {
 		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
-		for s := 0; s < length; s++ {
-			var num, den float64
-			for dz := -r; dz <= r; dz++ {
-				z := kk + dz
-				if z < 0 || z >= nz {
-					continue
-				}
-				for dy := -r; dy <= r; dy++ {
-					y := j + dy
-					if y < 0 || y >= ny {
-						continue
-					}
-					base := ((dz+r)*side + (dy + r)) * side
-					for dx := -r; dx <= r; dx++ {
-						x := i + dx
-						if x < 0 || x >= nx {
-							continue
-						}
-						w := k.spatial[base+dx+r]
-						num += w * float64(src.At(x, y, z))
-						den += w
-					}
-				}
+		if fsrc != nil && fdst != nil {
+			for s := 0; s < length; s++ {
+				fdst.Data[fdst.X[i]+fdst.Y[j]+fdst.Z[kk]] = k.gaussVoxelFlat(fsrc, i, j, kk)
+				i, j, kk = i+di, j+dj, kk+dk
 			}
-			dst.Set(i, j, kk, float32(num/den))
+			return
+		}
+		for s := 0; s < length; s++ {
+			dst.Set(i, j, kk, k.gaussVoxel(src, i, j, kk))
 			i, j, kk = i+di, j+dj, kk+dk
 		}
-	})
+	}
+	// Like ApplyViews, route through the instrumented round-robin when
+	// the caller asked for scheduling stats or a per-pencil observer.
+	if o.Stats != nil || o.Observer != nil {
+		st := parallel.RoundRobinInstrumented(pencils, o.Workers, pencil, o.Observer)
+		if o.Stats != nil {
+			*o.Stats = st
+		}
+	} else {
+		parallel.RoundRobin(pencils, o.Workers, pencil)
+	}
 	return nil
+}
+
+// gaussVoxel computes the plain Gaussian smoothing at (i,j,k) on the
+// interface path.
+func (k *kernel) gaussVoxel(src grid.Reader, i, j, kk int) float32 {
+	nx, ny, nz := src.Dims()
+	r := k.opt.Radius
+	side := 2*r + 1
+	var num, den float64
+	for dz := -r; dz <= r; dz++ {
+		z := kk + dz
+		if z < 0 || z >= nz {
+			continue
+		}
+		for dy := -r; dy <= r; dy++ {
+			y := j + dy
+			if y < 0 || y >= ny {
+				continue
+			}
+			base := ((dz+r)*side + (dy + r)) * side
+			for dx := -r; dx <= r; dx++ {
+				x := i + dx
+				if x < 0 || x >= nx {
+					continue
+				}
+				w := k.spatial[base+dx+r]
+				num += w * float64(src.At(x, y, z))
+				den += w
+			}
+		}
+	}
+	return float32(num / den)
+}
+
+// gaussVoxelFlat is gaussVoxel on the flat fast path; same clamped-bounds
+// transformation as voxelFlat, bit-identical accumulation.
+func (k *kernel) gaussVoxelFlat(f *grid.Flat, i, j, kk int) float32 {
+	r := k.opt.Radius
+	side := 2*r + 1
+	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
+	ylo, yhi := max(-r, -j), min(r, f.Ny-1-j)
+	zlo, zhi := max(-r, -kk), min(r, f.Nz-1-kk)
+	var num, den float64
+	for dz := zlo; dz <= zhi; dz++ {
+		zoff := f.Z[kk+dz]
+		for dy := ylo; dy <= yhi; dy++ {
+			yzoff := f.Y[j+dy] + zoff
+			base := ((dz+r)*side + (dy + r)) * side
+			for dx := xlo; dx <= xhi; dx++ {
+				w := k.spatial[base+dx+r]
+				num += w * float64(f.Data[f.X[i+dx]+yzoff])
+				den += w
+			}
+		}
+	}
+	return float32(num / den)
 }

@@ -2,7 +2,9 @@ package filter
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sfcmem/internal/core"
 	"sfcmem/internal/grid"
@@ -248,13 +250,30 @@ func TestOptionValidation(t *testing.T) {
 	if err := Apply(src, dst, Options{Radius: 1, SigmaSpatial: -1}); err == nil {
 		t.Error("negative sigma not rejected")
 	}
+	if err := Apply(src, dst, Options{Radius: 1, SigmaRange: -0.1}); err == nil {
+		t.Error("negative range sigma not rejected")
+	}
 	if err := Apply(src, dst, Options{Radius: 1, Workers: -1}); err == nil {
 		t.Error("negative workers not rejected")
+	}
+	// Zero means "use the default" and must be accepted — validation runs
+	// on the caller's values, not the post-default rewrite.
+	if err := Apply(src, dst, Options{Radius: 1}); err != nil {
+		t.Errorf("all-zero optional fields rejected: %v", err)
+	}
+	for _, fn := range []func(grid.Reader, grid.Writer, Options) error{
+		Reference, GaussianConvolve, GaussianSeparable,
+	} {
+		if err := fn(src, dst, Options{Radius: 1, Workers: -1}); err == nil {
+			t.Error("negative workers not rejected by a sibling entry point")
+		}
 	}
 }
 
 func TestParseOrder(t *testing.T) {
-	for s, want := range map[string]Order{"xyz": XYZ, "ZYX": ZYX} {
+	for s, want := range map[string]Order{
+		"xyz": XYZ, "ZYX": ZYX, "Xyz": XYZ, " zyx ": ZYX, "\tXYZ\n": XYZ,
+	} {
 		got, err := ParseOrder(s)
 		if err != nil || got != want {
 			t.Errorf("ParseOrder(%q) = %v, %v", s, got, err)
@@ -265,6 +284,135 @@ func TestParseOrder(t *testing.T) {
 	}
 	if XYZ.String() != "xyz" || ZYX.String() != "zyx" {
 		t.Error("Order.String broken")
+	}
+	// Round trip: every order's String parses back to itself.
+	for _, o := range []Order{XYZ, ZYX} {
+		got, err := ParseOrder(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOrder(%v.String()) = %v, %v", o, got, err)
+		}
+	}
+}
+
+func TestFastPathBitIdentical(t *testing.T) {
+	// The flat fast path must produce bitwise-identical output to the
+	// generic interface path for every layout, both stencil orders, and
+	// both kernels. Non-separable layouts (Hilbert, HZ) silently stay on
+	// the interface path, so they trivially agree — including them keeps
+	// the toggle honest everywhere.
+	const nx, ny, nz = 13, 6, 9
+	base := volume.MRIPhantom(core.NewArrayOrder(nx, ny, nz), 8, 0.08)
+	for _, kind := range core.Kinds() {
+		src, err := base.Relayout(core.New(kind, nx, ny, nz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, order := range []Order{XYZ, ZYX} {
+			fast := grid.New(core.New(kind, nx, ny, nz))
+			slow := grid.New(core.New(kind, nx, ny, nz))
+			o := Options{Radius: 2, Order: order, Workers: 3}
+			if err := Apply(src, fast, o); err != nil {
+				t.Fatal(err)
+			}
+			o.NoFastPath = true
+			if err := Apply(src, slow, o); err != nil {
+				t.Fatal(err)
+			}
+			if !grid.Equal(fast, slow) {
+				t.Errorf("%v/%v: bilateral fast path not bit-identical (max diff %v)",
+					kind, order, grid.MaxAbsDiff(fast, slow))
+			}
+		}
+		fast := grid.New(core.New(kind, nx, ny, nz))
+		slow := grid.New(core.New(kind, nx, ny, nz))
+		o := Options{Radius: 2, Workers: 2}
+		if err := GaussianConvolve(src, fast, o); err != nil {
+			t.Fatal(err)
+		}
+		o.NoFastPath = true
+		if err := GaussianConvolve(src, slow, o); err != nil {
+			t.Fatal(err)
+		}
+		if !grid.Equal(fast, slow) {
+			t.Errorf("%v: Gaussian fast path not bit-identical (max diff %v)",
+				kind, grid.MaxAbsDiff(fast, slow))
+		}
+	}
+}
+
+func TestGaussianConvolveInstrumented(t *testing.T) {
+	// GaussianConvolve must honor Stats and Observer like ApplyViews
+	// does (it used to silently ignore both).
+	const n = 8
+	src := volume.MRIPhantom(core.NewArrayOrder(n, n, n), 9, 0.05)
+	dst := grid.New(core.NewArrayOrder(n, n, n))
+	var st parallel.Stats
+	var observed int64
+	o := defaultOpts()
+	o.Workers = 2
+	o.Stats = &st
+	o.Observer = func(_, _ int, _ time.Time, _ time.Duration) {
+		atomic.AddInt64(&observed, 1)
+	}
+	if err := GaussianConvolve(src, dst, o); err != nil {
+		t.Fatal(err)
+	}
+	pencils := parallel.PencilCount(n, n, n, o.Axis)
+	if st.Items != pencils {
+		t.Errorf("stats report %d items, want %d pencils", st.Items, pencils)
+	}
+	if st.Strategy != "round-robin" {
+		t.Errorf("stats strategy %q, want round-robin", st.Strategy)
+	}
+	var total int
+	for _, w := range st.Workers {
+		total += w.Items
+	}
+	if total != pencils {
+		t.Errorf("worker item counts sum to %d, want %d", total, pencils)
+	}
+	if int(observed) != pencils {
+		t.Errorf("observer saw %d pencils, want %d", observed, pencils)
+	}
+	// Stats alone (nil observer) must also work.
+	st = parallel.Stats{}
+	o.Observer = nil
+	if err := GaussianConvolve(src, dst, o); err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != pencils {
+		t.Errorf("stats-only run reported %d items, want %d", st.Items, pencils)
+	}
+}
+
+func TestRangeWeightAccuracy(t *testing.T) {
+	// The LUT's knots sit at i*binWidth with round-to-nearest lookup, so
+	// a zero value difference must return exactly 1 (the old
+	// floor-into-bin-centers scheme returned exp of a half-bin offset),
+	// and the worst-case error against exact exp over the covered range
+	// is bounded by the half-bin slope error plus the clipped tail.
+	o := Options{Radius: 1, SigmaRange: 0.15}.withDefaults()
+	k := newKernel(o)
+	if w := k.rangeWeight(0); w != 1 {
+		t.Fatalf("rangeWeight(0) = %v, want exactly 1", w)
+	}
+	span := rangeLUTSpan * o.SigmaRange
+	inv2sr := 1 / (2 * o.SigmaRange * o.SigmaRange)
+	var worst float64
+	for i := 0; i <= 20000; i++ {
+		dv := span * 1.02 * float64(i) / 20000 // probe past the tail cutoff too
+		exact := math.Exp(-dv * dv * inv2sr)
+		if dv >= span*(1-0.5/rangeLUTSize) {
+			exact = 0 // the LUT treats the tail as zero; exp there is ≤ exp(-8)
+		}
+		if d := math.Abs(k.rangeWeight(dv) - exact); d > worst {
+			worst = d
+		}
+	}
+	// Half-bin slope error is ≤ maxslope*binwidth/2 ≈ 2.4e-4 for span=4σ,
+	// and the clipped tail costs exp(-8) ≈ 3.4e-4.
+	if worst > 5e-4 {
+		t.Errorf("worst-case LUT error %v exceeds 5e-4", worst)
 	}
 }
 

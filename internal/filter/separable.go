@@ -24,10 +24,10 @@ import (
 // Intermediate passes run in a scratch grid with src's layout; dst may
 // use any layout of the same dimensions.
 func GaussianSeparable(src grid.Reader, dst grid.Writer, o Options) error {
-	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return err
 	}
+	o = o.withDefaults()
 	nx, ny, nz := src.Dims()
 	dx, dy, dz := dst.Dims()
 	if nx != dx || ny != dy || nz != dz {

@@ -1,0 +1,92 @@
+package grid
+
+import (
+	"testing"
+
+	"sfcmem/internal/core"
+)
+
+func flatTestVolume(kind core.Kind, nx, ny, nz int) *Grid {
+	return FromFunc(core.New(kind, nx, ny, nz), func(i, j, k int) float32 {
+		return float32(i) + 10*float32(j) - 3*float32(k) + 0.25
+	})
+}
+
+func TestFlattenSeparableLayouts(t *testing.T) {
+	const nx, ny, nz = 11, 7, 5
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.TiledKind, core.ZTiledKind} {
+		g := flatTestVolume(kind, nx, ny, nz)
+		f := Flatten(g)
+		if f == nil {
+			t.Fatalf("%v: Flatten returned nil for a separable layout", kind)
+		}
+		if fw := FlattenWriter(g); fw == nil {
+			t.Fatalf("%v: FlattenWriter returned nil", kind)
+		}
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					if f.At(i, j, k) != g.At(i, j, k) {
+						t.Fatalf("%v: flat At(%d,%d,%d) disagrees", kind, i, j, k)
+					}
+				}
+			}
+		}
+		// Writes through the flat view land in the grid.
+		f.Set(1, 2, 3, 42)
+		if g.At(1, 2, 3) != 42 {
+			t.Fatalf("%v: flat Set did not reach the grid", kind)
+		}
+	}
+}
+
+func TestFlattenRefusesNonSeparableAndTraced(t *testing.T) {
+	for _, kind := range []core.Kind{core.HilbertKind, core.HZKind} {
+		g := New(core.New(kind, 8, 8, 8))
+		if Flatten(g) != nil {
+			t.Errorf("%v: non-separable layout flattened", kind)
+		}
+	}
+	// Traced views must stay on the interface path so the cache
+	// simulator sees every access.
+	g := New(core.NewZOrder(8, 8, 8))
+	tr := NewTraced(g, 0, &CountingSink{})
+	if Flatten(tr) != nil {
+		t.Error("traced view flattened; cache simulation would go blind")
+	}
+	if FlattenWriter(tr) != nil {
+		t.Error("traced writer flattened")
+	}
+}
+
+func TestFlatSampleTrilinearBitIdentical(t *testing.T) {
+	const n = 9
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.TiledKind, core.ZTiledKind} {
+		g := flatTestVolume(kind, n, n, n)
+		f := Flatten(g)
+		// Interior, boundary, clamped-outside, and exact-lattice points.
+		points := [][3]float64{
+			{1.5, 2.25, 3.75}, {0, 0, 0}, {8, 8, 8}, {7.999, 0.001, 4},
+			{-1, 9.5, 4.2}, {3, 5, 7}, {0.5, 7.5, 0.5},
+		}
+		for _, p := range points {
+			want := SampleTrilinear(g, p[0], p[1], p[2])
+			got := f.SampleTrilinear(p[0], p[1], p[2])
+			if got != want {
+				t.Errorf("%v: SampleTrilinear(%v) = %v, interface path %v",
+					kind, p, got, want)
+			}
+		}
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					gx, gy, gz := Gradient(g, i, j, k)
+					fx, fy, fz := f.Gradient(i, j, k)
+					if gx != fx || gy != fy || gz != fz {
+						t.Fatalf("%v: Gradient(%d,%d,%d) differs", kind, i, j, k)
+					}
+				}
+			}
+		}
+	}
+}

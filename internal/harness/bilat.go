@@ -37,6 +37,9 @@ func (r BilatRow) options(threads int) filter.Options {
 type BilatInput struct {
 	Src  map[core.Kind]*grid.Grid
 	Size int
+	// NoFastPath forces wall-clock runs onto the generic interface path
+	// (set from Config.NoFastPath by the grid runners).
+	NoFastPath bool
 }
 
 // NewBilatInput generates the MRI phantom once and relayouts it into
@@ -71,6 +74,7 @@ func timeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
 	o := row.options(threads)
 	o.Stats = st
 	o.Observer = obs
+	o.NoFastPath = in.NoFastPath
 	start := time.Now()
 	if err := filter.Apply(src, dst, o); err != nil {
 		return 0, err
@@ -166,6 +170,7 @@ func measureBilatPair(wall *BilatInput, row BilatRow, threads, reps int,
 func RunBilatGrid(cfg Config, threadList []int, platform cache.Platform,
 	progress func(msg string), ins *Instruments) (map[string][]Cell, error) {
 	wall := NewBilatInput(cfg.BilatSize, cfg.Seed)
+	wall.NoFastPath = cfg.NoFastPath
 	sim := NewBilatInput(cfg.BilatSimSize, cfg.Seed)
 	out := make(map[string][]Cell)
 	for _, row := range cfg.BilatRows() {

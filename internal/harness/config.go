@@ -56,6 +56,12 @@ type Config struct {
 	FixedThreads int `json:"fixed_threads"`
 	// Reps repeats each wall-clock measurement, keeping the minimum.
 	Reps int `json:"reps"`
+	// NoFastPath disables the kernels' flat-access fast path for
+	// wall-clock runs, forcing the generic interface path — the ablation
+	// that isolates what devirtualization contributes to the absolute
+	// numbers. Counter runs are unaffected (traced views never take the
+	// fast path).
+	NoFastPath bool `json:"no_fastpath,omitempty"`
 	// Radii maps the paper's row labels to stencil radii.
 	Radii []RadiusSpec `json:"radii"`
 }

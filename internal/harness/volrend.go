@@ -16,6 +16,9 @@ import (
 type VolInput struct {
 	Vol  map[core.Kind]*grid.Grid
 	Size int
+	// NoFastPath forces wall-clock runs onto the generic interface path
+	// (set from Config.NoFastPath by the grid runners).
+	NoFastPath bool
 }
 
 // NewVolInput generates the plume once and relayouts it into every
@@ -57,6 +60,7 @@ func timeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads in
 	o := renderOptions(threads)
 	o.Stats = st
 	o.Observer = obs
+	o.NoFastPath = in.NoFastPath
 	start := time.Now()
 	if _, err := render.Render(vol, cam, tf, o); err != nil {
 		return 0, err
@@ -133,6 +137,7 @@ func measureVolrendPair(wall *VolInput, view, nViews, imgSize, threads, reps int
 func RunVolrendGrid(cfg Config, threadList []int, platform cache.Platform,
 	progress func(msg string), ins *Instruments) ([][]Cell, error) {
 	wall := NewVolInput(cfg.VolSize, cfg.Seed)
+	wall.NoFastPath = cfg.NoFastPath
 	sim := NewVolInput(cfg.VolSimSize, cfg.Seed)
 	out := make([][]Cell, cfg.Views)
 	for view := 0; view < cfg.Views; view++ {

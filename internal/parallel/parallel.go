@@ -14,6 +14,7 @@ package parallel
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,14 +45,16 @@ func (a Axis) String() string {
 	return fmt.Sprintf("Axis(%d)", int(a))
 }
 
-// ParseAxis maps "px"/"x", "py"/"y", "pz"/"z" to an Axis.
+// ParseAxis maps "px"/"x", "py"/"y", "pz"/"z" to an Axis, folding case
+// and surrounding whitespace exactly like core.ParseKind and
+// filter.ParseOrder.
 func ParseAxis(s string) (Axis, error) {
-	switch s {
-	case "px", "x", "X":
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "px", "x":
 		return AxisX, nil
-	case "py", "y", "Y":
+	case "py", "y":
 		return AxisY, nil
-	case "pz", "z", "Z":
+	case "pz", "z":
 		return AxisZ, nil
 	}
 	return 0, fmt.Errorf("parallel: unknown axis %q", s)

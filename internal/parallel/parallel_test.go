@@ -126,6 +126,17 @@ func TestAxisStringAndParse(t *testing.T) {
 			t.Errorf("round-trip %v: %v, %v", a, got, err)
 		}
 	}
+	// Case and surrounding whitespace fold, like core.ParseKind.
+	for s, want := range map[string]Axis{
+		"PX": AxisX, " px ": AxisX, "X": AxisX,
+		"Py": AxisY, "y": AxisY,
+		"\tPZ\n": AxisZ, "Z": AxisZ,
+	} {
+		got, err := ParseAxis(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAxis(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
 	if _, err := ParseAxis("pw"); err == nil {
 		t.Error("ParseAxis(pw) should fail")
 	}

@@ -56,6 +56,11 @@ type Options struct {
 	// Observer, if non-nil, is called once per completed tile with the
 	// worker, tile index, and timing. Enables timeline recording.
 	Observer parallel.Observer
+	// NoFastPath forces the generic interface sampling path even for
+	// plain grids with separable layouts, disabling the flat-access fast
+	// path. Used by ablation benches and cross-check tests; traced views
+	// always take the interface path regardless.
+	NoFastPath bool
 }
 
 func (o Options) withDefaults() Options {
@@ -77,21 +82,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validate checks the options exactly as the caller supplied them,
+// before withDefaults rewrites zeros — so an explicit invalid value is
+// reported truthfully while zero keeps meaning "use the default".
 func (o Options) validate() error {
-	if o.TileSize < 1 {
-		return fmt.Errorf("render: tile size %d must be >= 1", o.TileSize)
+	if o.TileSize < 0 {
+		return fmt.Errorf("render: tile size %d must be non-negative (zero selects the default)", o.TileSize)
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("render: workers %d must be >= 0", o.Workers)
+		return fmt.Errorf("render: workers %d must be non-negative (zero selects the default)", o.Workers)
 	}
-	if o.Step <= 0 {
-		return fmt.Errorf("render: step %g must be positive", o.Step)
+	if o.Step < 0 {
+		return fmt.Errorf("render: step %g must be non-negative (zero selects the default)", o.Step)
 	}
-	if o.MaxAlpha <= 0 || o.MaxAlpha > 1 {
-		return fmt.Errorf("render: max alpha %g must be in (0,1]", o.MaxAlpha)
+	if o.MaxAlpha < 0 || o.MaxAlpha > 1 {
+		return fmt.Errorf("render: max alpha %g must be in [0,1] (zero selects the default)", o.MaxAlpha)
 	}
 	if o.AccelEdge < 0 {
-		return fmt.Errorf("render: macrocell edge %d must be positive", o.AccelEdge)
+		return fmt.Errorf("render: macrocell edge %d must be non-negative (zero selects the default)", o.AccelEdge)
 	}
 	return nil
 }
@@ -99,10 +107,10 @@ func (o Options) validate() error {
 // Render raycasts the volume from cam through tf, with all workers
 // sharing one view of the volume.
 func Render(vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
-	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
+	o = o.withDefaults()
 	views := make([]grid.Reader, o.Workers)
 	for w := range views {
 		views[w] = vol
@@ -115,10 +123,10 @@ func Render(vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, e
 // pass one traced view per simulated thread. len(views) must equal
 // Workers (after defaulting); all views must agree on dimensions.
 func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
-	o = o.withDefaults()
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
+	o = o.withDefaults()
 	if len(views) != o.Workers {
 		return nil, fmt.Errorf("render: need %d views, got %d", o.Workers, len(views))
 	}
@@ -145,12 +153,22 @@ func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (
 	tiles := parallel.Tiles(cam.Width, cam.Height, o.TileSize)
 	lo := Vec3{0, 0, 0}
 	hi := Vec3{float64(nx - 1), float64(ny - 1), float64(nz - 1)}
+	// Resolve each worker's view to the flat fast path once, at setup:
+	// a plain *grid.Grid under a separable layout flattens to its raw
+	// buffer plus per-axis offset tables; traced views and non-separable
+	// layouts (Hilbert, HZ) resolve to nil and keep the interface path.
+	flats := make([]*grid.Flat, o.Workers)
+	if !o.NoFastPath {
+		for w := range flats {
+			flats[w] = grid.Flatten(views[w])
+		}
+	}
 	tile := func(w, ti int) {
-		vol := views[w]
+		vol, flat := views[w], flats[w]
 		t := tiles[ti]
 		for py := t.Y0; py < t.Y1; py++ {
 			for px := t.X0; px < t.X1; px++ {
-				img.Set(px, py, castRay(vol, cam, tf, o, px, py, lo, hi, accel, skipBelow))
+				img.Set(px, py, castRay(vol, flat, cam, tf, o, px, py, lo, hi, accel, skipBelow))
 			}
 		}
 	}
@@ -175,8 +193,11 @@ func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (
 
 // castRay integrates one primary ray: slab intersection, fixed-step
 // front-to-back compositing with opacity correction and early ray
-// termination.
-func castRay(vol grid.Reader, cam Camera, tf *TransferFunc, o Options, px, py int, lo, hi Vec3, accel *Accel, skipBelow float32) RGBA {
+// termination. When flat is non-nil the trilinear samples and shading
+// gradients come from the devirtualized flat view (bit-identical
+// arithmetic to the interface path); otherwise every access goes
+// through vol.
+func castRay(vol grid.Reader, flat *grid.Flat, cam Camera, tf *TransferFunc, o Options, px, py int, lo, hi Vec3, accel *Accel, skipBelow float32) RGBA {
 	origin, dir := cam.Ray(px, py)
 	tmin, tmax, hit := intersectBox(origin, dir, lo, hi)
 	if !hit {
@@ -200,7 +221,12 @@ func castRay(vol grid.Reader, cam Camera, tf *TransferFunc, o Options, px, py in
 			t = tNext - o.Step // loop increment lands on tNext
 			continue
 		}
-		s := grid.SampleTrilinear(vol, p.X, p.Y, p.Z)
+		var s float32
+		if flat != nil {
+			s = flat.SampleTrilinear(p.X, p.Y, p.Z)
+		} else {
+			s = grid.SampleTrilinear(vol, p.X, p.Y, p.Z)
+		}
 		c := tf.Eval(s)
 		if c.A <= 0 {
 			continue
@@ -211,7 +237,12 @@ func castRay(vol grid.Reader, cam Camera, tf *TransferFunc, o Options, px, py in
 		}
 		if o.Shade && a > 0.01 {
 			// Gradient clamps indices internally; p is inside the box.
-			gx, gy, gz := grid.Gradient(vol, int(p.X), int(p.Y), int(p.Z))
+			var gx, gy, gz float32
+			if flat != nil {
+				gx, gy, gz = flat.Gradient(int(p.X), int(p.Y), int(p.Z))
+			} else {
+				gx, gy, gz = grid.Gradient(vol, int(p.X), int(p.Y), int(p.Z))
+			}
 			n := Vec3{float64(gx), float64(gy), float64(gz)}.Normalize()
 			light := Vec3{0.5, 1, 0.3}.Normalize()
 			lambert := float32(math.Abs(n.Dot(light)))

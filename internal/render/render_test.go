@@ -329,6 +329,17 @@ func TestRenderValidation(t *testing.T) {
 	if _, err := Render(vol, cam, tf, Options{Workers: -2}); err == nil {
 		t.Error("negative workers accepted")
 	}
+	if _, err := Render(vol, cam, tf, Options{TileSize: -1}); err == nil {
+		t.Error("negative tile size accepted")
+	}
+	if _, err := Render(vol, cam, tf, Options{AccelEdge: -1}); err == nil {
+		t.Error("negative macrocell edge accepted")
+	}
+	// Validation runs on the caller's values, before defaulting: zeros
+	// mean "use the default" and must all be accepted.
+	if _, err := Render(vol, cam, tf, Options{}); err != nil {
+		t.Errorf("all-zero options rejected: %v", err)
+	}
 	badCam := cam
 	badCam.Width = 0
 	if _, err := Render(vol, badCam, tf, Options{}); err == nil {
@@ -524,6 +535,41 @@ func TestStaticScheduleSameImage(t *testing.T) {
 	}
 	if MaxDiff(dyn, stat) != 0 {
 		t.Error("scheduling strategy changed the image")
+	}
+}
+
+func TestRenderFastPathBitIdentical(t *testing.T) {
+	// The flat sampling fast path must produce a bitwise-identical image
+	// to the interface path for every layout, including with shading
+	// (gradient fetches) and empty-space skipping enabled. Non-separable
+	// layouts silently stay on the interface path and trivially agree.
+	const n = 16
+	base := volume.CombustionPlume(core.NewArrayOrder(n, n, n), 5)
+	cam := Orbit(3, 8, n, n, n, 32, 32)
+	tf := DefaultTransferFunc()
+	for _, kind := range core.Kinds() {
+		vol, err := base.Relayout(core.New(kind, n, n, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range []Options{
+			{Workers: 2},
+			{Workers: 2, Shade: true},
+			{Workers: 2, EmptySkip: true, AccelEdge: 4},
+		} {
+			fast, err := Render(vol, cam, tf, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.NoFastPath = true
+			slow, err := Render(vol, cam, tf, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := MaxDiff(fast, slow); d != 0 {
+				t.Errorf("%v %+v: fast path image differs by %v", kind, o, d)
+			}
+		}
 	}
 }
 

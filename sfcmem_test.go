@@ -218,3 +218,23 @@ func TestPublicAPIGaussianAndRawIO(t *testing.T) {
 		t.Error("raw roundtrip changed values")
 	}
 }
+
+func TestPublicAPIFlatten(t *testing.T) {
+	g := sfcmem.MRIPhantom(sfcmem.NewLayout(sfcmem.ZOrder, 8, 8, 8), 1, 0.05)
+	f := sfcmem.Flatten(g)
+	if f == nil {
+		t.Fatal("Flatten returned nil for a separable layout")
+	}
+	if f.At(1, 2, 3) != g.At(1, 2, 3) {
+		t.Error("flat view disagrees with the grid")
+	}
+	if _, ok := sfcmem.NewLayout(sfcmem.ZOrder, 8, 8, 8).(sfcmem.SeparableLayout); !ok {
+		t.Error("Z order should be separable")
+	}
+	if _, ok := sfcmem.NewLayout(sfcmem.Hilbert, 8, 8, 8).(sfcmem.SeparableLayout); ok {
+		t.Error("Hilbert must not be separable")
+	}
+	if sfcmem.Flatten(sfcmem.NewGrid(sfcmem.NewLayout(sfcmem.Hilbert, 8, 8, 8))) != nil {
+		t.Error("Hilbert grid flattened")
+	}
+}
