@@ -28,6 +28,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -261,7 +263,11 @@ func parseThreads(s string, def []int) ([]int, error) {
 		}
 		out = append(out, n)
 	}
-	return out, nil
+	// The grid code indexes results by position in this list, so a
+	// duplicate ("4,4") would overwrite a column and an unsorted list
+	// ("8,2") would mislabel the sweep; normalise instead of erroring.
+	sort.Ints(out)
+	return slices.Compact(out), nil
 }
 
 func fatal(stderr io.Writer, err error) int {

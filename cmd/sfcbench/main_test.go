@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -199,6 +200,31 @@ func TestParseThreads(t *testing.T) {
 	for _, bad := range []string{"x", "0", "-3", "1,,2"} {
 		if _, err := parseThreads(bad, def); err == nil {
 			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestParseThreadsSortsAndDedupes: the grid code labels result columns
+// by position, so duplicates and out-of-order counts used to corrupt the
+// sweep; parseThreads must normalise them.
+func TestParseThreadsSortsAndDedupes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"4,1,4", []int{1, 4}},
+		{"8,2,24,2", []int{2, 8, 24}},
+		{"16,16,16", []int{16}},
+		{"1,2,3", []int{1, 2, 3}},
+	}
+	for _, c := range cases {
+		got, err := parseThreads(c.in, nil)
+		if err != nil {
+			t.Errorf("parseThreads(%q): %v", c.in, err)
+			continue
+		}
+		if !slices.Equal(got, c.want) {
+			t.Errorf("parseThreads(%q) = %v, want %v", c.in, got, c.want)
 		}
 	}
 }

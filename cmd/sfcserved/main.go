@@ -1,0 +1,196 @@
+// Command sfcserved serves the repo's kernels as a long-running request
+// service over an in-memory volume store: POST /render raycasts a named
+// volume to a PNG (or raw float32) frame, POST /filter runs the
+// bilateral or Gaussian kernel into a new named volume, and GET/POST
+// /volumes inspect and extend the store.
+//
+// The service exists to exercise the cancellable kernel entry points
+// under a real request lifecycle: every request gets a deadline-bounded
+// context, admission is a bounded queue that sheds overload with 429
+// rather than piling up goroutines, and SIGINT/SIGTERM drains in-flight
+// work before exit (bounded by -drain).
+//
+// A second listener (-ops) carries the operational endpoints — /metrics
+// (the metrics registry as JSON), /debug/vars and /debug/pprof — kept
+// off the request port so they are never behind the admission gate.
+//
+//	sfcserved -addr :8080 -ops :8081 -volume demo=plume:64:zorder
+//	curl -d '{"volume":"demo","width":256,"height":256}' localhost:8080/render > frame.png
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sfcmem/internal/metrics"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stderr))
+}
+
+type config struct {
+	addr, ops       string
+	volumes         []string
+	slots           int
+	queueDepth      int
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+	drainTimeout    time.Duration
+}
+
+// volumeList collects repeated -volume flags.
+type volumeList struct{ specs *[]string }
+
+func (v volumeList) String() string {
+	if v.specs == nil {
+		return ""
+	}
+	return strings.Join(*v.specs, ",")
+}
+
+func (v volumeList) Set(s string) error {
+	*v.specs = append(*v.specs, s)
+	return nil
+}
+
+// run is main with injectable lifetime, args and stderr so tests can
+// drive the full service including shutdown. Exit codes: 0 clean (also
+// after a drained signal shutdown), 1 runtime error, 2 usage error.
+func run(ctx context.Context, args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfcserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "request listen address")
+	fs.StringVar(&cfg.ops, "ops", "localhost:8081", "ops listen address (/metrics, /debug/pprof, /debug/vars)")
+	fs.Var(volumeList{&cfg.volumes}, "volume", "volume spec name=dataset:size:layout (repeatable); default demo=plume:48:zorder")
+	fs.IntVar(&cfg.slots, "slots", 2, "requests running kernels concurrently")
+	fs.IntVar(&cfg.queueDepth, "queue", 8, "admitted requests waiting beyond the running ones; overflow gets 429")
+	fs.DurationVar(&cfg.defaultDeadline, "deadline", 30*time.Second, "per-request deadline when the request sets none")
+	fs.DurationVar(&cfg.maxDeadline, "max-deadline", 2*time.Minute, "upper bound on client-requested deadlines")
+	fs.DurationVar(&cfg.drainTimeout, "drain", 30*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if cfg.slots < 1 || cfg.queueDepth < 0 {
+		fmt.Fprintln(stderr, "sfcserved: -slots must be >= 1 and -queue >= 0")
+		return 2
+	}
+	a, err := newApp(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "sfcserved:", err)
+		return 1
+	}
+	names := make([]string, 0, len(a.srv.store.list()))
+	for _, v := range a.srv.store.list() {
+		names = append(names, v.Name)
+	}
+	fmt.Fprintf(stderr, "sfcserved: serving on http://%s (ops http://%s), volumes: %s\n",
+		a.apiAddr(), a.opsAddr(), strings.Join(names, ", "))
+	if err := a.run(ctx); err != nil {
+		fmt.Fprintln(stderr, "sfcserved:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "sfcserved: drained, bye")
+	return 0
+}
+
+// app is the assembled service: volume store, request server, and the
+// two HTTP servers with their listeners already bound (so tests can use
+// port 0 and read the chosen addresses before run).
+type app struct {
+	cfg          config
+	srv          *server
+	apiLn, opsLn net.Listener
+	api, ops     *http.Server
+}
+
+func newApp(cfg config) (*app, error) {
+	store := newVolumeStore()
+	specs := cfg.volumes
+	if len(specs) == 0 {
+		specs = []string{"demo=plume:48:zorder"}
+	}
+	for _, spec := range specs {
+		v, err := parseVolumeSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		store.put(v)
+	}
+	reg := metrics.NewRegistry()
+	srv := newServer(store, reg, cfg.slots, cfg.queueDepth, cfg.defaultDeadline, cfg.maxDeadline)
+
+	apiLn, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	opsLn, err := net.Listen("tcp", cfg.ops)
+	if err != nil {
+		apiLn.Close()
+		return nil, err
+	}
+	opsMux := http.NewServeMux()
+	opsMux.Handle("/metrics", reg)
+	opsMux.Handle("/debug/vars", expvar.Handler())
+	opsMux.HandleFunc("/debug/pprof/", pprof.Index)
+	opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &app{
+		cfg:   cfg,
+		srv:   srv,
+		apiLn: apiLn,
+		opsLn: opsLn,
+		api:   &http.Server{Handler: srv.mux()},
+		ops:   &http.Server{Handler: opsMux},
+	}, nil
+}
+
+func (a *app) apiAddr() string { return a.apiLn.Addr().String() }
+func (a *app) opsAddr() string { return a.opsLn.Addr().String() }
+
+// run serves until ctx is done, then drains: the health check flips to
+// 503, the listeners close, and in-flight requests get up to the drain
+// timeout to finish before their connections are cut.
+func (a *app) run(ctx context.Context) error {
+	errc := make(chan error, 2)
+	go func() { errc <- a.api.Serve(a.apiLn) }()
+	go func() { errc <- a.ops.Serve(a.opsLn) }()
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		// A listener failed underneath us; shut the rest down too.
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			a.shutdown()
+			return err
+		}
+	}
+	return a.shutdown()
+}
+
+func (a *app) shutdown() error {
+	a.srv.draining.Store(true)
+	dctx, cancel := context.WithTimeout(context.Background(), a.cfg.drainTimeout)
+	defer cancel()
+	err := a.api.Shutdown(dctx)
+	if opsErr := a.ops.Shutdown(dctx); err == nil {
+		err = opsErr
+	}
+	return err
+}

@@ -1,0 +1,380 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sfcmem"
+	"sfcmem/internal/metrics"
+)
+
+// server holds the request-service state: the volume store, the metrics
+// registry, and the two-stage admission gate.
+//
+// Admission works in two stages so load sheds at the door instead of
+// piling up in goroutines. queue has capacity slots+depth and is taken
+// with a non-blocking send: failure means the service is saturated past
+// its queueing allowance and the request is refused with 429 before any
+// kernel work. run has capacity slots and is taken with a blocking send
+// racing the request's deadline: holding it is the right to occupy
+// kernel workers. A request that times out while queued has consumed
+// nothing but its queue token.
+type server struct {
+	store *volumeStore
+	reg   *metrics.Registry
+
+	queue chan struct{}
+	run   chan struct{}
+
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+	draining        atomic.Bool
+
+	// renderImage is the kernel invocation behind POST /render,
+	// replaceable in tests to make admission behaviour deterministic.
+	renderImage func(ctx context.Context, vol sfcmem.Reader, cam sfcmem.Camera, tf *sfcmem.TransferFunc, o sfcmem.RenderOptions) (*sfcmem.Image, error)
+
+	renderReqs    *metrics.Counter
+	filterReqs    *metrics.Counter
+	rejected      *metrics.Counter
+	deadlineMiss  *metrics.Counter
+	renderLatency *metrics.Histogram
+	filterLatency *metrics.Histogram
+}
+
+func newServer(store *volumeStore, reg *metrics.Registry, slots, depth int, defaultDeadline, maxDeadline time.Duration) *server {
+	s := &server{
+		store:           store,
+		reg:             reg,
+		queue:           make(chan struct{}, slots+depth),
+		run:             make(chan struct{}, slots),
+		defaultDeadline: defaultDeadline,
+		maxDeadline:     maxDeadline,
+		renderImage:     sfcmem.RenderCtx,
+		renderReqs:      reg.Counter("render.requests", 1),
+		filterReqs:      reg.Counter("filter.requests", 1),
+		rejected:        reg.Counter("admission.rejected", 1),
+		deadlineMiss:    reg.Counter("deadline.exceeded", 1),
+		renderLatency:   reg.Histogram("render.latency"),
+		filterLatency:   reg.Histogram("filter.latency"),
+	}
+	reg.Register("admission.queued", metrics.GaugeFunc(func() any { return len(s.queue) }))
+	reg.Register("admission.running", metrics.GaugeFunc(func() any { return len(s.run) }))
+	return s
+}
+
+// mux routes the request-service API (the ops endpoints live on their
+// own mux; see newApp).
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /render", s.handleRender)
+	m.HandleFunc("POST /filter", s.handleFilter)
+	m.HandleFunc("GET /volumes", s.handleListVolumes)
+	m.HandleFunc("POST /volumes", s.handleCreateVolume)
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+	return m
+}
+
+// errBusy reports an admission-queue overflow.
+var errBusy = errors.New("admission queue full")
+
+// admit runs the two-stage gate. On success the caller holds a run slot
+// and must invoke the returned release. errBusy means shed the request;
+// a context error means the deadline expired while queued.
+func (s *server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, errBusy
+	}
+	select {
+	case s.run <- struct{}{}:
+		return func() { <-s.run; <-s.queue }, nil
+	case <-ctx.Done():
+		<-s.queue
+		return nil, ctx.Err()
+	}
+}
+
+// requestCtx derives the per-request context: the client's deadline_ms
+// clamped to the configured maximum, or the default when unset. It
+// chains off the connection context, so a client hanging up cancels the
+// kernel too.
+func (s *server) requestCtx(r *http.Request, deadlineMS int) (context.Context, context.CancelFunc) {
+	d := s.defaultDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	if d > s.maxDeadline {
+		d = s.maxDeadline
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// admissionError writes the HTTP response for a failed admit or a
+// kernel aborted by its context, and returns true if err was one of
+// those. Unrecognised errors are left for the caller.
+func (s *server) admissionError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, errBusy):
+		s.rejected.Inc(0)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server busy: admission queue full", http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineMiss.Inc(0)
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client hung up (or the connection died); the status is
+		// a formality nobody will read.
+		http.Error(w, "request cancelled", http.StatusServiceUnavailable)
+	default:
+		return false
+	}
+	return true
+}
+
+type renderRequest struct {
+	Volume string `json:"volume"`
+	// View/Views select a camera on the standard orbit, matching the
+	// paper's harness: view v of n evenly spaced azimuths.
+	View    int  `json:"view"`
+	Views   int  `json:"views"`
+	Width   int  `json:"width"`
+	Height  int  `json:"height"`
+	Workers int  `json:"workers"`
+	Shade   bool `json:"shade"`
+	// Format is "png" (default) or "raw": raw is the float32 RGBA
+	// frame, little-endian, row-major.
+	Format     string `json:"format"`
+	DeadlineMS int    `json:"deadline_ms"`
+}
+
+func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
+	s.renderReqs.Inc(0)
+	var req renderRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Views <= 0 {
+		req.Views = 24
+	}
+	if req.Width <= 0 {
+		req.Width = 256
+	}
+	if req.Height <= 0 {
+		req.Height = 256
+	}
+	if req.Workers <= 0 {
+		req.Workers = runtime.GOMAXPROCS(0)
+	}
+	if req.Width > 4096 || req.Height > 4096 || req.Workers > 256 {
+		http.Error(w, "image or worker count out of range", http.StatusBadRequest)
+		return
+	}
+	if req.Format == "" {
+		req.Format = "png"
+	}
+	if req.Format != "png" && req.Format != "raw" {
+		http.Error(w, fmt.Sprintf("unknown format %q (want png or raw)", req.Format), http.StatusBadRequest)
+		return
+	}
+	vol, ok := s.store.get(req.Volume)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown volume %q", req.Volume), http.StatusNotFound)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.admissionError(w, err)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	nx, ny, nz := vol.grid.Dims()
+	cam := sfcmem.Orbit(req.View, req.Views, nx, ny, nz, req.Width, req.Height)
+	img, err := s.renderImage(ctx, vol.grid, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
+		Workers: req.Workers,
+		Shade:   req.Shade,
+	})
+	if err != nil {
+		if !s.admissionError(w, err) {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.renderLatency.Observe(time.Since(start))
+
+	switch req.Format {
+	case "png":
+		w.Header().Set("Content-Type", "image/png")
+		img.WritePNG(w) //nolint:errcheck // headers are out; nothing to report to
+	case "raw":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Image-Width", fmt.Sprint(img.W))
+		w.Header().Set("X-Image-Height", fmt.Sprint(img.H))
+		buf := make([]float32, 0, img.W*img.H*4)
+		for y := 0; y < img.H; y++ {
+			for x := 0; x < img.W; x++ {
+				c := img.At(x, y)
+				buf = append(buf, c.R, c.G, c.B, c.A)
+			}
+		}
+		binary.Write(w, binary.LittleEndian, buf) //nolint:errcheck // as above
+	}
+}
+
+type filterRequest struct {
+	Src string `json:"src"`
+	// Dst names the volume the filtered grid is stored under; default
+	// src + ".filtered". The destination uses the source's layout.
+	Dst string `json:"dst"`
+	// Kernel is "bilateral" (default) or "gaussian".
+	Kernel     string  `json:"kernel"`
+	Radius     int     `json:"radius"`
+	Axis       string  `json:"axis"` // "x" (default), "y", "z"
+	SigmaRange float64 `json:"sigma_range"`
+	Workers    int     `json:"workers"`
+	DeadlineMS int     `json:"deadline_ms"`
+}
+
+func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	s.filterReqs.Inc(0)
+	var req filterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Dst == "" {
+		req.Dst = req.Src + ".filtered"
+	}
+	if req.Kernel == "" {
+		req.Kernel = "bilateral"
+	}
+	if req.Radius <= 0 {
+		req.Radius = 2
+	}
+	if req.Workers <= 0 {
+		req.Workers = runtime.GOMAXPROCS(0)
+	}
+	if req.Radius > 8 || req.Workers > 256 {
+		http.Error(w, "radius or worker count out of range", http.StatusBadRequest)
+		return
+	}
+	var axis sfcmem.Axis
+	switch req.Axis {
+	case "", "x":
+		axis = sfcmem.AxisX
+	case "y":
+		axis = sfcmem.AxisY
+	case "z":
+		axis = sfcmem.AxisZ
+	default:
+		http.Error(w, fmt.Sprintf("unknown axis %q (want x, y, or z)", req.Axis), http.StatusBadRequest)
+		return
+	}
+	kernel := sfcmem.BilateralCtx
+	switch req.Kernel {
+	case "bilateral":
+	case "gaussian":
+		kernel = sfcmem.GaussianConvolveCtx
+	default:
+		http.Error(w, fmt.Sprintf("unknown kernel %q (want bilateral or gaussian)", req.Kernel), http.StatusBadRequest)
+		return
+	}
+	src, ok := s.store.get(req.Src)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown volume %q", req.Src), http.StatusNotFound)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.admissionError(w, err)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	dst := sfcmem.NewGrid(src.grid.Layout())
+	err = kernel(ctx, src.grid, dst, sfcmem.FilterOptions{
+		Radius:     req.Radius,
+		Axis:       axis,
+		SigmaRange: req.SigmaRange,
+		Workers:    req.Workers,
+	})
+	if err != nil {
+		if !s.admissionError(w, err) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	elapsed := time.Since(start)
+	s.filterLatency.Observe(elapsed)
+	s.store.put(&storedVolume{
+		name:    req.Dst,
+		dataset: src.dataset + "+" + req.Kernel,
+		layout:  src.layout,
+		grid:    dst,
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+		"volume":  req.Dst,
+		"seconds": elapsed.Seconds(),
+	})
+}
+
+type createVolumeRequest struct {
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Size    int    `json:"size"`
+	Layout  string `json:"layout"`
+}
+
+func (s *server) handleCreateVolume(w http.ResponseWriter, r *http.Request) {
+	var req createVolumeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Layout == "" {
+		req.Layout = "zorder"
+	}
+	v, err := synthesizeVolume(req.Name, req.Dataset, req.Size, req.Layout)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.store.put(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(v.info()) //nolint:errcheck
+}
+
+func (s *server) handleListVolumes(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.store.list()) //nolint:errcheck
+}
+
+// handleHealthz reports 200 while serving and 503 once draining, so a
+// load balancer stops routing here during shutdown.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sfcmem"
+)
+
+// storedVolume is one named volume in the in-memory store. The grid is
+// immutable once stored — filters write into a fresh grid registered
+// under a new name — so concurrent renders can share it without locks.
+type storedVolume struct {
+	name    string
+	dataset string // "plume", "phantom", or "filter:<kernel>"
+	layout  string // layout name as given in the spec
+	grid    *sfcmem.Grid
+}
+
+// volumeInfo is a volume's JSON form for the /volumes listing.
+type volumeInfo struct {
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Layout  string `json:"layout"`
+	Nx      int    `json:"nx"`
+	Ny      int    `json:"ny"`
+	Nz      int    `json:"nz"`
+}
+
+func (v *storedVolume) info() volumeInfo {
+	nx, ny, nz := v.grid.Dims()
+	return volumeInfo{Name: v.name, Dataset: v.dataset, Layout: v.layout, Nx: nx, Ny: ny, Nz: nz}
+}
+
+// volumeStore maps names to volumes. Lookups vastly outnumber stores
+// (every request resolves a name; only /volumes and /filter add one), so
+// an RWMutex over a plain map is plenty.
+type volumeStore struct {
+	mu   sync.RWMutex
+	vols map[string]*storedVolume
+}
+
+func newVolumeStore() *volumeStore {
+	return &volumeStore{vols: make(map[string]*storedVolume)}
+}
+
+func (s *volumeStore) get(name string) (*storedVolume, bool) {
+	s.mu.RLock()
+	v, ok := s.vols[name]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// put stores v, replacing any volume of the same name.
+func (s *volumeStore) put(v *storedVolume) {
+	s.mu.Lock()
+	s.vols[v.name] = v
+	s.mu.Unlock()
+}
+
+// list returns every volume's info, sorted by name.
+func (s *volumeStore) list() []volumeInfo {
+	s.mu.RLock()
+	out := make([]volumeInfo, 0, len(s.vols))
+	for _, v := range s.vols {
+		out = append(out, v.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// datasetSeed fixes the synthetic datasets so repeated service starts
+// (and the CI smoke job) render identical frames.
+const datasetSeed = 1
+
+// synthesizeVolume builds a named volume from a dataset name, cube edge
+// and layout name — the shared backend of the -volume flag and the
+// POST /volumes handler.
+func synthesizeVolume(name, dataset string, size int, layout string) (*storedVolume, error) {
+	if name == "" {
+		return nil, fmt.Errorf("volume name must be non-empty")
+	}
+	if size < 2 || size > 512 {
+		return nil, fmt.Errorf("volume size %d out of range [2,512]", size)
+	}
+	kind, err := sfcmem.ParseLayout(layout)
+	if err != nil {
+		return nil, err
+	}
+	l := sfcmem.NewLayout(kind, size, size, size)
+	var g *sfcmem.Grid
+	switch dataset {
+	case "plume":
+		g = sfcmem.CombustionPlume(l, datasetSeed)
+	case "phantom":
+		g = sfcmem.MRIPhantom(l, datasetSeed, 0.02)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want plume or phantom)", dataset)
+	}
+	return &storedVolume{name: name, dataset: dataset, layout: layout, grid: g}, nil
+}
+
+// parseVolumeSpec parses one -volume flag value of the form
+// name=dataset:size:layout, e.g. demo=plume:64:zorder.
+func parseVolumeSpec(spec string) (*storedVolume, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout", spec)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout", spec)
+	}
+	size, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("volume spec %q: bad size %q", spec, parts[1])
+	}
+	v, err := synthesizeVolume(name, parts[0], size, parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("volume spec %q: %w", spec, err)
+	}
+	return v, nil
+}

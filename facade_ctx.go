@@ -1,0 +1,46 @@
+package sfcmem
+
+// Context-accepting kernel entry points. Each is the cancellable form of
+// the same-named facade function: workers check the context between work
+// items (pencils for the filter, image tiles for the renderer), stop
+// claiming new items once it is done, and the call returns the context's
+// error without leaking goroutines. An item that has already started
+// runs to completion — items are the cancellation granule. With a
+// context that can never be cancelled (context.Background()) these take
+// exactly the non-context code paths, fast paths included.
+//
+// cmd/sfcserved builds its per-request deadline handling on these.
+
+import (
+	"context"
+
+	"sfcmem/internal/filter"
+	"sfcmem/internal/render"
+)
+
+// BilateralCtx is Bilateral with cooperative cancellation; on
+// cancellation dst is left partially written.
+func BilateralCtx(ctx context.Context, src Reader, dst Writer, o FilterOptions) error {
+	return filter.ApplyCtx(ctx, src, dst, o)
+}
+
+// BilateralViewsCtx is BilateralViews with cooperative cancellation.
+func BilateralViewsCtx(ctx context.Context, srcs []Reader, dsts []Writer, o FilterOptions) error {
+	return filter.ApplyViewsCtx(ctx, srcs, dsts, o)
+}
+
+// GaussianConvolveCtx is GaussianConvolve with cooperative cancellation.
+func GaussianConvolveCtx(ctx context.Context, src Reader, dst Writer, o FilterOptions) error {
+	return filter.GaussianConvolveCtx(ctx, src, dst, o)
+}
+
+// RenderCtx is Render with cooperative cancellation; a cancelled render
+// returns (nil, ctx's error) and discards the partial frame.
+func RenderCtx(ctx context.Context, vol Reader, cam Camera, tf *TransferFunc, o RenderOptions) (*Image, error) {
+	return render.RenderCtx(ctx, vol, cam, tf, o)
+}
+
+// RenderViewsCtx is RenderViews with cooperative cancellation.
+func RenderViewsCtx(ctx context.Context, views []Reader, cam Camera, tf *TransferFunc, o RenderOptions) (*Image, error) {
+	return render.RenderViewsCtx(ctx, views, cam, tf, o)
+}

@@ -1,0 +1,93 @@
+package cache
+
+import "testing"
+
+// prefetchPlatform builds a hierarchy whose single private level is big
+// enough to hold the whole test stream plus its prefetched neighbours,
+// so no capacity effect can mask the accounting under test.
+func prefetchPlatform(prefetch bool) Platform {
+	return Platform{
+		Name:             "prefetch-test",
+		Private:          []LevelConfig{{Name: "L1", SizeBytes: 64 << 10, Ways: 8}},
+		Shared:           LevelConfig{Name: "LLC", SizeBytes: 1 << 20, Ways: 16},
+		NextLinePrefetch: prefetch,
+	}
+}
+
+// replayEvenLines touches every second cache line once: each access is a
+// cold demand miss at the private level, so with prefetching on each one
+// also issues a next-line prefetch for the (never demanded) odd line.
+func replayEvenLines(p Platform) Report {
+	sys := NewSystem(p, 1)
+	f := sys.Front(0)
+	const lines = 256
+	for l := uint64(0); l < lines; l += 2 {
+		f.Access(l<<lineShift, false)
+	}
+	return sys.Report()
+}
+
+// TestPrefetchDoesNotInflateDemandCounters is the regression test for
+// the prefetch accounting bug: next-line prefetches used to recurse
+// through the demand access path, inflating shared-level and memory
+// demand counters — and with them PaperMetric (PAPI_L3_TCA) — as a
+// function of the prefetch setting. Demand counters must be identical
+// with prefetching on and off; prefetch traffic shows up only in
+// Prefetches and MemPrefetchReads.
+func TestPrefetchDoesNotInflateDemandCounters(t *testing.T) {
+	off := replayEvenLines(prefetchPlatform(false))
+	on := replayEvenLines(prefetchPlatform(true))
+
+	if on.Prefetches == 0 {
+		t.Fatal("no prefetches issued; the stream should miss on every access")
+	}
+	if on.MemPrefetchReads == 0 {
+		t.Error("prefetch fills reached memory but MemPrefetchReads == 0")
+	}
+	if off.Prefetches != 0 || off.MemPrefetchReads != 0 {
+		t.Errorf("prefetch counters with prefetching off: %d issued, %d mem fills",
+			off.Prefetches, off.MemPrefetchReads)
+	}
+	if on.Shared != off.Shared {
+		t.Errorf("shared-level demand counters differ with prefetching:\n on: %+v\noff: %+v",
+			on.Shared, off.Shared)
+	}
+	if on.MemReads != off.MemReads || on.MemWrites != off.MemWrites {
+		t.Errorf("memory demand counters differ: on %d/%d, off %d/%d",
+			on.MemReads, on.MemWrites, off.MemReads, off.MemWrites)
+	}
+	if on.PaperMetric() != off.PaperMetric() {
+		t.Errorf("PaperMetric differs with prefetching: on %d, off %d",
+			on.PaperMetric(), off.PaperMetric())
+	}
+	// The private level's own demand counters are also prefetch-independent:
+	// the prefetched lines are installed, never demanded.
+	if on.PrivateTotal[0] != off.PrivateTotal[0] {
+		t.Errorf("private demand counters differ:\n on: %+v\noff: %+v",
+			on.PrivateTotal[0], off.PrivateTotal[0])
+	}
+}
+
+// TestPrefetchHitsInPrivateLevel checks the prefetch actually lands: a
+// second pass over the odd (prefetched-only) lines must hit entirely in
+// the private level.
+func TestPrefetchHitsInPrivateLevel(t *testing.T) {
+	sys := NewSystem(prefetchPlatform(true), 1)
+	f := sys.Front(0)
+	const lines = 256
+	for l := uint64(0); l < lines; l += 2 {
+		f.Access(l<<lineShift, false)
+	}
+	before := sys.Report()
+	for l := uint64(1); l < lines; l += 2 {
+		f.Access(l<<lineShift, false)
+	}
+	after := sys.Report()
+	if got, want := after.PrivateTotal[0].Hits-before.PrivateTotal[0].Hits, uint64(lines/2); got != want {
+		t.Errorf("odd-line pass hit %d times in L1, want %d (prefetched lines missing)", got, want)
+	}
+	if after.Shared.Accesses != before.Shared.Accesses {
+		t.Errorf("odd-line pass reached the shared level: %d -> %d accesses",
+			before.Shared.Accesses, after.Shared.Accesses)
+	}
+}

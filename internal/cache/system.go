@@ -16,9 +16,10 @@ type System struct {
 	shared   *level
 	sharedMu sync.Mutex
 
-	memMu     sync.Mutex
-	memReads  uint64
-	memWrites uint64
+	memMu            sync.Mutex
+	memReads         uint64
+	memWrites        uint64
+	memPrefetchReads uint64
 }
 
 // coreCaches is one simulated core's cache hierarchy. With
@@ -138,14 +139,64 @@ func (f *Front) accessPrivate(i int, line uint64, write bool) {
 		f.writeback(i+1, evicted)
 	}
 	// Next-line prefetch at the outermost private level: on a demand
-	// miss, pull line+1 in too (fetching it from below if absent).
+	// miss, pull line+1 in too (fetching it from below if absent). The
+	// fetch must not take the demand path — a prefetch is not a demand
+	// access, so it may move cache state but not the shared-level or
+	// memory demand counters (it is tallied in Prefetches and, when it
+	// reaches memory, MemPrefetchReads).
 	if f.prefetch && i == len(f.private)-1 && !lvl.contains(line+1) {
 		f.Prefetches++
-		f.accessPrivate(i+1, line+1, false)
+		f.prefetchFill(i+1, line+1)
 		pEvicted, pDirty, pDid := lvl.insert(line+1, false)
 		if pDid && pDirty {
 			f.writeback(i+1, pEvicted)
 		}
+	}
+}
+
+// prefetchFill brings line into private level i on behalf of a next-line
+// prefetch, recursing outward when absent. It mirrors the demand fill's
+// state changes — LRU touch on a hit, insert, dirty-victim writeback —
+// without incrementing any demand counter.
+func (f *Front) prefetchFill(i int, line uint64) {
+	if i == len(f.private) {
+		f.prefetchShared(line)
+		return
+	}
+	lvl := f.private[i]
+	if lvl.lookup(line, false) {
+		return
+	}
+	f.prefetchFill(i+1, line)
+	evicted, evictedDirty, did := lvl.insert(line, false)
+	if did && evictedDirty {
+		f.writeback(i+1, evicted)
+	}
+}
+
+// prefetchShared is prefetchFill's shared-level leg: cache state moves
+// exactly as a demand fill would move it, but the only counters touched
+// are MemPrefetchReads for the memory fill and the ordinary writeback
+// tally for a dirty victim.
+func (f *Front) prefetchShared(line uint64) {
+	s := f.sys
+	if s.shared == nil {
+		s.memPrefetch()
+		return
+	}
+	s.sharedMu.Lock()
+	hit := s.shared.lookup(line, false)
+	var evictedDirty, did bool
+	if !hit {
+		_, evictedDirty, did = s.shared.insert(line, false)
+	}
+	s.sharedMu.Unlock()
+	if hit {
+		return
+	}
+	s.memPrefetch()
+	if did && evictedDirty {
+		s.memAccess(true) // victim writeback is real demand traffic
 	}
 }
 
@@ -210,6 +261,14 @@ func (f *Front) writeback(i int, line uint64) {
 	s.memAccess(true)
 }
 
+// memPrefetch counts a memory fill triggered by a prefetch, kept apart
+// from the demand read/write counters.
+func (s *System) memPrefetch() {
+	s.memMu.Lock()
+	s.memPrefetchReads++
+	s.memMu.Unlock()
+}
+
 func (s *System) memAccess(write bool) {
 	s.memMu.Lock()
 	if write {
@@ -238,6 +297,9 @@ type Report struct {
 	TLB TLBCounters
 	// Prefetches sums next-line prefetches issued (zero when disabled).
 	Prefetches uint64
+	// MemPrefetchReads counts memory fills triggered by prefetches,
+	// separate from the demand MemReads.
+	MemPrefetchReads uint64
 }
 
 // Report gathers all counters. Call after the access streams are fully
@@ -268,6 +330,7 @@ func (s *System) Report() Report {
 	}
 	r.MemReads = s.memReads
 	r.MemWrites = s.memWrites
+	r.MemPrefetchReads = s.memPrefetchReads
 	return r
 }
 
@@ -326,6 +389,9 @@ func (r Report) Snapshot() map[string]uint64 {
 	if r.Prefetches > 0 {
 		out["prefetches"] = r.Prefetches
 	}
+	if r.MemPrefetchReads > 0 {
+		out["mem.prefetch_reads"] = r.MemPrefetchReads
+	}
 	out["mem.reads"] = r.MemReads
 	out["mem.writes"] = r.MemWrites
 	out["paper_metric"] = r.PaperMetric()
@@ -349,7 +415,7 @@ func (r Report) String() string {
 			r.TLB.Accesses, r.TLB.Hits, r.TLB.Misses, r.TLB.MissRate())
 	}
 	if r.Prefetches > 0 {
-		out += fmt.Sprintf("  prefetches issued %d\n", r.Prefetches)
+		out += fmt.Sprintf("  prefetches issued %d (mem fills %d)\n", r.Prefetches, r.MemPrefetchReads)
 	}
 	out += fmt.Sprintf("  mem reads %d writes %d\n", r.MemReads, r.MemWrites)
 	out += fmt.Sprintf("  %s = %d\n", r.MetricName(), r.PaperMetric())

@@ -18,6 +18,7 @@
 package filter
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -298,6 +299,14 @@ func (k *kernel) voxelFlat(f *grid.Flat, i, j, kk int) float32 {
 // sharing the same views. src and dst must have identical dimensions
 // and must not alias (the filter is not in-place).
 func Apply(src grid.Reader, dst grid.Writer, o Options) error {
+	return ApplyCtx(context.Background(), src, dst, o)
+}
+
+// ApplyCtx is Apply with cooperative cancellation: workers stop taking
+// pencils once ctx is done and the call returns ctx's error, leaving dst
+// partially written. A context that can never be cancelled takes exactly
+// the non-context code path.
+func ApplyCtx(ctx context.Context, src grid.Reader, dst grid.Writer, o Options) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
@@ -307,7 +316,7 @@ func Apply(src grid.Reader, dst grid.Writer, o Options) error {
 	for w := range srcs {
 		srcs[w], dsts[w] = src, dst
 	}
-	return ApplyViews(srcs, dsts, o)
+	return ApplyViewsCtx(ctx, srcs, dsts, o)
 }
 
 // ApplyViews runs the bilateral filter with per-worker source and
@@ -316,8 +325,19 @@ func Apply(src grid.Reader, dst grid.Writer, o Options) error {
 // traced view per simulated thread. len(srcs) and len(dsts) must equal
 // Workers (after defaulting); all views must agree on dimensions.
 func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
+	return ApplyViewsCtx(context.Background(), srcs, dsts, o)
+}
+
+// ApplyViewsCtx is ApplyViews with cooperative cancellation; see
+// ApplyCtx. Pencils are the cancellation granule: a pencil that has
+// started runs to completion, and no new pencils are handed out after
+// ctx is done.
+func ApplyViewsCtx(ctx context.Context, srcs []grid.Reader, dsts []grid.Writer, o Options) error {
 	if err := o.validate(); err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err // fail fast before kernel tables and view flattening
 	}
 	o = o.withDefaults()
 	if len(srcs) != o.Workers || len(dsts) != o.Workers {
@@ -365,14 +385,13 @@ func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
 		}
 	}
 	if o.Stats != nil || o.Observer != nil {
-		st := parallel.RoundRobinInstrumented(pencils, o.Workers, pencil, o.Observer)
+		st, err := parallel.RoundRobinInstrumentedCtx(ctx, pencils, o.Workers, pencil, o.Observer)
 		if o.Stats != nil {
 			*o.Stats = st
 		}
-	} else {
-		parallel.RoundRobin(pencils, o.Workers, pencil)
+		return err
 	}
-	return nil
+	return parallel.RoundRobinCtx(ctx, pencils, o.Workers, pencil)
 }
 
 // backingGrid unwraps a view to the *grid.Grid it reads or writes, or
@@ -441,7 +460,16 @@ func Reference(src grid.Reader, dst grid.Writer, o Options) error {
 // filter's edge preservation buys (Howison & Bethel 2014 comparison)
 // and as a second structured-access workload for the benches.
 func GaussianConvolve(src grid.Reader, dst grid.Writer, o Options) error {
+	return GaussianConvolveCtx(context.Background(), src, dst, o)
+}
+
+// GaussianConvolveCtx is GaussianConvolve with cooperative cancellation;
+// see ApplyCtx for the semantics.
+func GaussianConvolveCtx(ctx context.Context, src grid.Reader, dst grid.Writer, o Options) error {
 	if err := o.validate(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	o = o.withDefaults()
@@ -473,14 +501,13 @@ func GaussianConvolve(src grid.Reader, dst grid.Writer, o Options) error {
 	// Like ApplyViews, route through the instrumented round-robin when
 	// the caller asked for scheduling stats or a per-pencil observer.
 	if o.Stats != nil || o.Observer != nil {
-		st := parallel.RoundRobinInstrumented(pencils, o.Workers, pencil, o.Observer)
+		st, err := parallel.RoundRobinInstrumentedCtx(ctx, pencils, o.Workers, pencil, o.Observer)
 		if o.Stats != nil {
 			*o.Stats = st
 		}
-	} else {
-		parallel.RoundRobin(pencils, o.Workers, pencil)
+		return err
 	}
-	return nil
+	return parallel.RoundRobinCtx(ctx, pencils, o.Workers, pencil)
 }
 
 // gaussVoxel computes the plain Gaussian smoothing at (i,j,k) on the

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,12 +62,12 @@ func NewBilatInput(size int, seed uint64) *BilatInput {
 // TimeBilat measures wall-clock runtime of one bilateral-filter run
 // under the given layout.
 func TimeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int) (time.Duration, error) {
-	return timeBilat(in, kind, row, threads, nil, nil)
+	return timeBilat(context.Background(), in, kind, row, threads, nil, nil)
 }
 
 // timeBilat is TimeBilat with optional scheduling instrumentation: st
 // receives the round-robin per-worker stats, obs each completed pencil.
-func timeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
+func timeBilat(ctx context.Context, in *BilatInput, kind core.Kind, row BilatRow, threads int,
 	st *parallel.Stats, obs parallel.Observer) (time.Duration, error) {
 	src := in.Src[kind]
 	nx, ny, nz := src.Dims()
@@ -76,7 +77,7 @@ func timeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
 	o.Observer = obs
 	o.NoFastPath = in.NoFastPath
 	start := time.Now()
-	if err := filter.Apply(src, dst, o); err != nil {
+	if err := filter.ApplyCtx(ctx, src, dst, o); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil
@@ -87,12 +88,12 @@ func timeBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
 // platform's paper counter (PAPI_L3_TCA-like or L2_DATA_READ_MISS-like)
 // and the full report.
 func SimBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int, platform cache.Platform) (uint64, cache.Report, error) {
-	return simBilat(in, kind, row, threads, platform, nil)
+	return simBilat(context.Background(), in, kind, row, threads, platform, nil)
 }
 
 // simBilat is SimBilat with optional replay-chunk observation (each
 // pencil replayed through the simulated caches becomes a timeline span).
-func simBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
+func simBilat(ctx context.Context, in *BilatInput, kind core.Kind, row BilatRow, threads int,
 	platform cache.Platform, obs parallel.Observer) (uint64, cache.Report, error) {
 	src := in.Src[kind]
 	nx, ny, nz := src.Dims()
@@ -107,7 +108,7 @@ func simBilat(in *BilatInput, kind core.Kind, row BilatRow, threads int,
 	}
 	o := row.options(threads)
 	o.Observer = obs
-	if err := filter.ApplyViews(srcs, dsts, o); err != nil {
+	if err := filter.ApplyViewsCtx(ctx, srcs, dsts, o); err != nil {
 		return 0, cache.Report{}, err
 	}
 	rep := sys.Report()
@@ -130,7 +131,7 @@ type Cell struct {
 // neighbors) that would otherwise bias whichever layout ran last. With
 // instruments attached, the runs also report per-worker scheduling
 // stats and pencil spans.
-func measureBilatPair(wall *BilatInput, row BilatRow, threads, reps int,
+func measureBilatPair(ctx context.Context, wall *BilatInput, row BilatRow, threads, reps int,
 	ins *Instruments) (c Cell, err error) {
 	c.RuntimeA, c.RuntimeZ = time.Duration(1<<63-1), time.Duration(1<<63-1)
 	if reps < 1 {
@@ -144,11 +145,11 @@ func measureBilatPair(wall *BilatInput, row BilatRow, threads, reps int,
 		obsZ = ins.Observer(spanName("bilat", "z", row.Label))
 	}
 	for rep := 0; rep < reps; rep++ {
-		ta, err := timeBilat(wall, core.ArrayKind, row, threads, stA, obsA)
+		ta, err := timeBilat(ctx, wall, core.ArrayKind, row, threads, stA, obsA)
 		if err != nil {
 			return Cell{}, err
 		}
-		tz, err := timeBilat(wall, core.ZKind, row, threads, stZ, obsZ)
+		tz, err := timeBilat(ctx, wall, core.ZKind, row, threads, stZ, obsZ)
 		if err != nil {
 			return Cell{}, err
 		}
@@ -169,6 +170,15 @@ func measureBilatPair(wall *BilatInput, row BilatRow, threads, reps int,
 // timeline spans.
 func RunBilatGrid(cfg Config, threadList []int, platform cache.Platform,
 	progress func(msg string), ins *Instruments) (map[string][]Cell, error) {
+	return RunBilatGridCtx(context.Background(), cfg, threadList, platform, progress, ins)
+}
+
+// RunBilatGridCtx is RunBilatGrid with cooperative cancellation: the
+// context is checked before each cell and threaded into every kernel
+// run, so a cancelled grid stops within one work item rather than one
+// cell. The partial results are discarded (nil, ctx error).
+func RunBilatGridCtx(ctx context.Context, cfg Config, threadList []int, platform cache.Platform,
+	progress func(msg string), ins *Instruments) (map[string][]Cell, error) {
 	wall := NewBilatInput(cfg.BilatSize, cfg.Seed)
 	wall.NoFastPath = cfg.NoFastPath
 	sim := NewBilatInput(cfg.BilatSimSize, cfg.Seed)
@@ -176,19 +186,22 @@ func RunBilatGrid(cfg Config, threadList []int, platform cache.Platform,
 	for _, row := range cfg.BilatRows() {
 		cells := make([]Cell, len(threadList))
 		for ti, threads := range threadList {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if progress != nil {
 				progress(fmt.Sprintf("bilat %s threads=%d", row.Label, threads))
 			}
-			c, err := measureBilatPair(wall, row, threads, cfg.Reps, ins)
+			c, err := measureBilatPair(ctx, wall, row, threads, cfg.Reps, ins)
 			if err != nil {
 				return nil, err
 			}
-			ma, repA, err := simBilat(sim, core.ArrayKind, row, threads, platform,
+			ma, repA, err := simBilat(ctx, sim, core.ArrayKind, row, threads, platform,
 				ins.Observer(spanName("sim bilat", "a", row.Label)))
 			if err != nil {
 				return nil, err
 			}
-			mz, repZ, err := simBilat(sim, core.ZKind, row, threads, platform,
+			mz, repZ, err := simBilat(ctx, sim, core.ZKind, row, threads, platform,
 				ins.Observer(spanName("sim bilat", "z", row.Label)))
 			if err != nil {
 				return nil, err

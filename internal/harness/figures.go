@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -201,11 +202,11 @@ func fig4(cfg Config, progress func(string), ins *Instruments) (FigureResult, er
 			if progress != nil {
 				progress(fmt.Sprintf("fig4 round=%d view=%d", round, view))
 			}
-			a, err := timeVolrend(wall, core.ArrayKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads, stA, obsA)
+			a, err := timeVolrend(context.Background(), wall, core.ArrayKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads, stA, obsA)
 			if err != nil {
 				return FigureResult{}, err
 			}
-			z, err := timeVolrend(wall, core.ZKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads, stZ, obsZ)
+			z, err := timeVolrend(context.Background(), wall, core.ZKind, view, cfg.Views, cfg.ImageSize, cfg.FixedThreads, stZ, obsZ)
 			if err != nil {
 				return FigureResult{}, err
 			}
@@ -223,12 +224,12 @@ func fig4(cfg Config, progress func(string), ins *Instruments) (FigureResult, er
 	}
 	for view := 0; view < cfg.Views; view++ {
 		labels[view] = fmt.Sprintf("%d", view)
-		ma, repA, err := simVolrend(sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform,
+		ma, repA, err := simVolrend(context.Background(), sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform,
 			ins.Observer("fig4 sim volrend a"))
 		if err != nil {
 			return FigureResult{}, err
 		}
-		mz, repZ, err := simVolrend(sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform,
+		mz, repZ, err := simVolrend(context.Background(), sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, cfg.FixedThreads, platform,
 			ins.Observer("fig4 sim volrend z"))
 		if err != nil {
 			return FigureResult{}, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,13 +47,13 @@ func renderOptions(threads int) render.Options {
 // TimeVolrend measures wall-clock runtime of one render (viewpoint ×
 // layout × threads).
 func TimeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int) (time.Duration, error) {
-	return timeVolrend(in, kind, view, nViews, imgSize, threads, nil, nil)
+	return timeVolrend(context.Background(), in, kind, view, nViews, imgSize, threads, nil, nil)
 }
 
 // timeVolrend is TimeVolrend with optional scheduling instrumentation:
 // st receives the dynamic-queue per-worker stats, obs each completed
 // tile.
-func timeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int,
+func timeVolrend(ctx context.Context, in *VolInput, kind core.Kind, view, nViews, imgSize, threads int,
 	st *parallel.Stats, obs parallel.Observer) (time.Duration, error) {
 	vol := in.Vol[kind]
 	cam := render.Orbit(view, nViews, in.Size, in.Size, in.Size, imgSize, imgSize)
@@ -62,7 +63,7 @@ func timeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads in
 	o.Observer = obs
 	o.NoFastPath = in.NoFastPath
 	start := time.Now()
-	if _, err := render.Render(vol, cam, tf, o); err != nil {
+	if _, err := render.RenderCtx(ctx, vol, cam, tf, o); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil
@@ -72,12 +73,12 @@ func timeVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads in
 // traced view per simulated thread, returning the platform's paper
 // counter and the full report.
 func SimVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int, platform cache.Platform) (uint64, cache.Report, error) {
-	return simVolrend(in, kind, view, nViews, imgSize, threads, platform, nil)
+	return simVolrend(context.Background(), in, kind, view, nViews, imgSize, threads, platform, nil)
 }
 
 // simVolrend is SimVolrend with optional replay-chunk observation (each
 // tile replayed through the simulated caches becomes a timeline span).
-func simVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int,
+func simVolrend(ctx context.Context, in *VolInput, kind core.Kind, view, nViews, imgSize, threads int,
 	platform cache.Platform, obs parallel.Observer) (uint64, cache.Report, error) {
 	vol := in.Vol[kind]
 	cam := render.Orbit(view, nViews, in.Size, in.Size, in.Size, imgSize, imgSize)
@@ -89,7 +90,7 @@ func simVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int
 	}
 	o := renderOptions(threads)
 	o.Observer = obs
-	if _, err := render.RenderViews(views, cam, tf, o); err != nil {
+	if _, err := render.RenderViewsCtx(ctx, views, cam, tf, o); err != nil {
 		return 0, cache.Report{}, err
 	}
 	rep := sys.Report()
@@ -99,7 +100,7 @@ func simVolrend(in *VolInput, kind core.Kind, view, nViews, imgSize, threads int
 // measureVolrendPair interleaves array/Z wall-clock repetitions for one
 // (view, threads) cell, keeping per-layout minimums (see
 // measureBilatPair for the rationale and the imbalance semantics).
-func measureVolrendPair(wall *VolInput, view, nViews, imgSize, threads, reps int,
+func measureVolrendPair(ctx context.Context, wall *VolInput, view, nViews, imgSize, threads, reps int,
 	ins *Instruments) (c Cell, err error) {
 	c.RuntimeA, c.RuntimeZ = time.Duration(1<<63-1), time.Duration(1<<63-1)
 	if reps < 1 {
@@ -113,11 +114,11 @@ func measureVolrendPair(wall *VolInput, view, nViews, imgSize, threads, reps int
 		obsZ = ins.Observer(spanName("volrend", "z", fmt.Sprintf("view %d", view)))
 	}
 	for rep := 0; rep < reps; rep++ {
-		ta, err := timeVolrend(wall, core.ArrayKind, view, nViews, imgSize, threads, stA, obsA)
+		ta, err := timeVolrend(ctx, wall, core.ArrayKind, view, nViews, imgSize, threads, stA, obsA)
 		if err != nil {
 			return Cell{}, err
 		}
-		tz, err := timeVolrend(wall, core.ZKind, view, nViews, imgSize, threads, stZ, obsZ)
+		tz, err := timeVolrend(ctx, wall, core.ZKind, view, nViews, imgSize, threads, stZ, obsZ)
 		if err != nil {
 			return Cell{}, err
 		}
@@ -136,6 +137,13 @@ func measureVolrendPair(wall *VolInput, view, nViews, imgSize, threads, reps int
 // reports, and timeline spans.
 func RunVolrendGrid(cfg Config, threadList []int, platform cache.Platform,
 	progress func(msg string), ins *Instruments) ([][]Cell, error) {
+	return RunVolrendGridCtx(context.Background(), cfg, threadList, platform, progress, ins)
+}
+
+// RunVolrendGridCtx is RunVolrendGrid with cooperative cancellation; see
+// RunBilatGridCtx for the semantics.
+func RunVolrendGridCtx(ctx context.Context, cfg Config, threadList []int, platform cache.Platform,
+	progress func(msg string), ins *Instruments) ([][]Cell, error) {
 	wall := NewVolInput(cfg.VolSize, cfg.Seed)
 	wall.NoFastPath = cfg.NoFastPath
 	sim := NewVolInput(cfg.VolSimSize, cfg.Seed)
@@ -143,19 +151,22 @@ func RunVolrendGrid(cfg Config, threadList []int, platform cache.Platform,
 	for view := 0; view < cfg.Views; view++ {
 		out[view] = make([]Cell, len(threadList))
 		for ti, threads := range threadList {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if progress != nil {
 				progress(fmt.Sprintf("volrend view=%d threads=%d", view, threads))
 			}
-			c, err := measureVolrendPair(wall, view, cfg.Views, cfg.ImageSize, threads, cfg.Reps, ins)
+			c, err := measureVolrendPair(ctx, wall, view, cfg.Views, cfg.ImageSize, threads, cfg.Reps, ins)
 			if err != nil {
 				return nil, err
 			}
-			ma, repA, err := simVolrend(sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, threads, platform,
+			ma, repA, err := simVolrend(ctx, sim, core.ArrayKind, view, cfg.Views, cfg.SimImageSize, threads, platform,
 				ins.Observer(spanName("sim volrend", "a", fmt.Sprintf("view %d", view))))
 			if err != nil {
 				return nil, err
 			}
-			mz, repZ, err := simVolrend(sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, threads, platform,
+			mz, repZ, err := simVolrend(ctx, sim, core.ZKind, view, cfg.Views, cfg.SimImageSize, threads, platform,
 				ins.Observer(spanName("sim volrend", "z", fmt.Sprintf("view %d", view))))
 			if err != nil {
 				return nil, err

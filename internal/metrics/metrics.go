@@ -22,6 +22,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -413,6 +414,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// ServeHTTP serves an indented JSON snapshot of the registry, making it
+// an http.Handler that services can mount directly (cmd/sfcserved mounts
+// one at /metrics on its ops port).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := r.WriteJSON(w); err != nil {
+		// Headers are gone by the time encoding fails; nothing to do
+		// but drop the connection state on the floor.
+		return
+	}
 }
 
 // Publish exposes the registry's live snapshot as the expvar variable

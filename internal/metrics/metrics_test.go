@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -213,6 +214,26 @@ func TestBucketOf(t *testing.T) {
 	for _, c := range cases {
 		if got := bucketOf(c.d); got != c.want {
 			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests", 2).Add(1, 7)
+	r.Histogram("latency").Observe(3 * time.Millisecond)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("body is not JSON: %v", err)
+	}
+	for _, key := range []string{"requests", "latency"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing %q", key)
 		}
 	}
 }

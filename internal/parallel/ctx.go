@@ -1,0 +1,225 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The *Ctx variants add cooperative cancellation to the two strategies:
+// every worker checks the context's done channel before starting each
+// work item and stops claiming further items once it closes. A work
+// item that has already started runs to completion — items are the
+// cancellation granule — so callers with long items (whole pencils,
+// whole tiles) observe cancellation within one item's latency.
+//
+// Cancellation never leaks goroutines: workers exit their loops on the
+// done check and the call returns only after every worker has finished.
+// With a context that can never be cancelled (ctx.Done() == nil, e.g.
+// context.Background()) the *Ctx variants delegate to the plain
+// strategies, so the non-cancellable paths are exactly the code the
+// benchmarks measure.
+
+// RoundRobinCtx is RoundRobin with cooperative cancellation. It returns
+// nil when every item ran, or ctx.Err() when cancellation stopped any
+// worker before it finished its items.
+func RoundRobinCtx(ctx context.Context, items, workers int, fn func(worker, item int)) error {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	done := ctx.Done()
+	if done == nil {
+		RoundRobin(items, workers, fn)
+		return nil
+	}
+	if workers == 1 {
+		for i := 0; i < items; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			fn(0, i)
+		}
+		return nil
+	}
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < items; i += workers {
+				select {
+				case <-done:
+					aborted.Store(true)
+					return
+				default:
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// DynamicCtx is Dynamic with cooperative cancellation: once the done
+// channel closes, no worker claims another item from the shared queue.
+// It returns nil when every item ran, or ctx.Err() when cancellation
+// stopped any worker first.
+func DynamicCtx(ctx context.Context, items, workers int, fn func(worker, item int)) error {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	done := ctx.Done()
+	if done == nil {
+		Dynamic(items, workers, fn)
+		return nil
+	}
+	if workers == 1 {
+		for i := 0; i < items; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			fn(0, i)
+		}
+		return nil
+	}
+	var next int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					aborted.Store(true)
+					return
+				default:
+				}
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= items {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// RoundRobinInstrumentedCtx is RoundRobinInstrumented with cooperative
+// cancellation. The returned Stats cover whatever ran before the
+// cancellation took effect; the error reporting matches RoundRobinCtx.
+func RoundRobinInstrumentedCtx(ctx context.Context, items, workers int, fn func(worker, item int), obs Observer) (Stats, error) {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	done := ctx.Done()
+	if done == nil {
+		return RoundRobinInstrumented(items, workers, fn, obs), nil
+	}
+	var aborted atomic.Bool
+	st := instrumentedShell("round-robin", items, workers, func(w int) (ws WorkerStat) {
+		var first, last time.Time
+		for i := w; i < items; i += workers {
+			select {
+			case <-done:
+				aborted.Store(true)
+				if ws.Items > 0 {
+					ws.Busy = last.Sub(first)
+				}
+				return
+			default:
+			}
+			start := time.Now()
+			if ws.Items == 0 {
+				first = start
+			}
+			fn(w, i)
+			last = time.Now()
+			if obs != nil {
+				obs(w, i, start, last.Sub(start))
+			}
+			ws.Items++
+		}
+		if ws.Items > 0 {
+			ws.Busy = last.Sub(first)
+		}
+		return
+	})
+	if aborted.Load() {
+		return st, ctx.Err()
+	}
+	return st, nil
+}
+
+// DynamicInstrumentedCtx is DynamicInstrumented with cooperative
+// cancellation; see RoundRobinInstrumentedCtx.
+func DynamicInstrumentedCtx(ctx context.Context, items, workers int, fn func(worker, item int), obs Observer) (Stats, error) {
+	if workers < 1 {
+		panic("parallel: workers must be >= 1")
+	}
+	done := ctx.Done()
+	if done == nil {
+		return DynamicInstrumented(items, workers, fn, obs), nil
+	}
+	var next int64
+	claim := func() int {
+		i := int(atomic.AddInt64(&next, 1) - 1)
+		if i >= items {
+			return -1
+		}
+		return i
+	}
+	var aborted atomic.Bool
+	st := instrumentedShell("dynamic", items, workers, func(w int) (ws WorkerStat) {
+		var first, last time.Time
+		for {
+			select {
+			case <-done:
+				aborted.Store(true)
+				if ws.Items > 0 {
+					ws.Busy = last.Sub(first)
+				}
+				return
+			default:
+			}
+			i := claim()
+			if i < 0 {
+				break
+			}
+			start := time.Now()
+			if ws.Items == 0 {
+				first = start
+			}
+			fn(w, i)
+			last = time.Now()
+			if obs != nil {
+				obs(w, i, start, last.Sub(start))
+			}
+			ws.Items++
+		}
+		if ws.Items > 0 {
+			ws.Busy = last.Sub(first)
+		}
+		return
+	})
+	if aborted.Load() {
+		return st, ctx.Err()
+	}
+	return st, nil
+}

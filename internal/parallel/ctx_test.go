@@ -1,0 +1,151 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ctxRunner adapts the four *Ctx entry points to one shape for
+// table-driven tests.
+type ctxRunner struct {
+	name string
+	run  func(ctx context.Context, items, workers int, fn func(w, i int)) error
+}
+
+func ctxRunners() []ctxRunner {
+	return []ctxRunner{
+		{"round-robin", RoundRobinCtx},
+		{"dynamic", DynamicCtx},
+		{"round-robin-instrumented", func(ctx context.Context, items, workers int, fn func(w, i int)) error {
+			_, err := RoundRobinInstrumentedCtx(ctx, items, workers, fn, nil)
+			return err
+		}},
+		{"dynamic-instrumented", func(ctx context.Context, items, workers int, fn func(w, i int)) error {
+			_, err := DynamicInstrumentedCtx(ctx, items, workers, fn, nil)
+			return err
+		}},
+	}
+}
+
+func TestCtxBackgroundRunsEverything(t *testing.T) {
+	for _, r := range ctxRunners() {
+		for _, workers := range []int{1, 3} {
+			const items = 100
+			var mu sync.Mutex
+			counts := make([]int, items)
+			err := r.run(context.Background(), items, workers, func(_, i int) {
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", r.name, workers, err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Errorf("%s workers=%d: item %d ran %d times", r.name, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCtxExpiredDeadlineRunsNothing(t *testing.T) {
+	for _, r := range ctxRunners() {
+		for _, workers := range []int{1, 4} {
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			var ran atomic.Int64
+			err := r.run(ctx, 50, workers, func(_, _ int) { ran.Add(1) })
+			cancel()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("%s workers=%d: err %v, want DeadlineExceeded", r.name, workers, err)
+			}
+			if n := ran.Load(); n != 0 {
+				t.Errorf("%s workers=%d: %d items ran under an expired deadline", r.name, workers, n)
+			}
+		}
+	}
+}
+
+// TestCtxCancelStopsHandout cancels mid-flight and checks that no new
+// items are handed out after the cancellation is observable: at most the
+// items already in flight (one per worker) may still complete.
+func TestCtxCancelStopsHandout(t *testing.T) {
+	for _, r := range ctxRunners() {
+		for _, workers := range []int{1, 4} {
+			const items = 10_000
+			ctx, cancel := context.WithCancel(context.Background())
+			var started atomic.Int64
+			var once sync.Once
+			err := r.run(ctx, items, workers, func(_, _ int) {
+				started.Add(1)
+				once.Do(cancel)
+				// Give every other worker time to observe the closed done
+				// channel before the queue could drain naturally.
+				time.Sleep(time.Millisecond)
+			})
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s workers=%d: err %v, want Canceled", r.name, workers, err)
+			}
+			// The canceling item plus at most one in-flight item per other
+			// worker; anything near `items` means handout never stopped.
+			if n := started.Load(); n > int64(2*workers) {
+				t.Errorf("%s workers=%d: %d items started after cancel (want <= %d)",
+					r.name, workers, n, 2*workers)
+			}
+		}
+	}
+}
+
+// TestCtxCancelNoGoroutineLeak repeatedly cancels mid-run and checks the
+// goroutine count settles back to the baseline.
+func TestCtxCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, r := range ctxRunners() {
+		for i := 0; i < 10; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			var once sync.Once
+			_ = r.run(ctx, 1000, 4, func(_, _ int) { once.Do(cancel) })
+			cancel()
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after cancellations", before, runtime.NumGoroutine())
+}
+
+// TestCtxInstrumentedPartialStats checks that a cancelled instrumented
+// run still reports coherent per-worker stats for the items that ran.
+func TestCtxInstrumentedPartialStats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	st, err := DynamicInstrumentedCtx(ctx, 1000, 2, func(_, _ int) {
+		once.Do(cancel)
+		time.Sleep(time.Millisecond)
+	}, nil)
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want Canceled", err)
+	}
+	total := 0
+	for _, w := range st.Workers {
+		total += w.Items
+	}
+	if total < 1 || total >= 1000 {
+		t.Errorf("partial run executed %d items, want 1 <= n < 1000", total)
+	}
+	if st.Strategy != "dynamic" || len(st.Workers) != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}

@@ -230,3 +230,39 @@ func BenchmarkDynamicInstrumented(b *testing.B) {
 		DynamicInstrumented(benchItems, w, benchWork, nil)
 	}
 }
+
+// TestObserverTimeNotInBusy pins the satellite fix for instrumented-run
+// timing skew: a slow Observer must not inflate WorkerStat.Busy (and
+// through it ImbalanceFactor), because the end timestamp is taken before
+// the observer callback runs. One item per worker makes the expectation
+// exact: Busy is that single item's duration, not item + observer.
+func TestObserverTimeNotInBusy(t *testing.T) {
+	const itemSleep = 1 * time.Millisecond
+	const obsSleep = 60 * time.Millisecond
+	slowObs := func(_, _ int, _ time.Time, d time.Duration) {
+		if d >= obsSleep {
+			t.Errorf("reported item duration %v includes observer time", d)
+		}
+		time.Sleep(obsSleep)
+	}
+	run := map[string]func(items, workers int, fn func(w, i int), obs Observer) Stats{
+		"round-robin": RoundRobinInstrumented,
+		"dynamic":     DynamicInstrumented,
+	}
+	for name, f := range run {
+		for _, workers := range []int{1, 2} {
+			// items == 1: exactly one worker runs exactly one item, so its
+			// Busy span contains no inter-item observer gaps.
+			st := f(1, workers, func(_, _ int) { time.Sleep(itemSleep) }, slowObs)
+			for w, ws := range st.Workers {
+				if ws.Items == 0 {
+					continue
+				}
+				if ws.Busy >= obsSleep/2 {
+					t.Errorf("%s workers=%d: worker %d Busy %v includes observer time (item ~%v, obs %v)",
+						name, workers, w, ws.Busy, itemSleep, obsSleep)
+				}
+			}
+		}
+	}
+}

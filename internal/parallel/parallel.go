@@ -260,18 +260,22 @@ func RoundRobinInstrumented(items, workers int, fn func(worker, item int), obs O
 		})
 	}
 	return instrumentedShell("round-robin", items, workers, func(w int) (ws WorkerStat) {
-		var first time.Time
+		var first, last time.Time
 		for i := w; i < items; i += workers {
 			start := time.Now()
 			if ws.Items == 0 {
 				first = start
 			}
 			fn(w, i)
-			obs(w, i, start, time.Since(start))
+			// Take the end stamp before handing the item to obs, so the
+			// observer's own execution time never lands in Busy (or in
+			// the item duration it is reported).
+			last = time.Now()
+			obs(w, i, start, last.Sub(start))
 			ws.Items++
 		}
 		if ws.Items > 0 {
-			ws.Busy = time.Since(first)
+			ws.Busy = last.Sub(first)
 		}
 		return
 	})
@@ -296,15 +300,19 @@ func DynamicInstrumented(items, workers int, fn func(worker, item int), obs Obse
 					fn(0, i)
 					ws.Items++
 				}
+				ws.Busy = time.Since(first)
 			} else {
+				var last time.Time
 				for i := 0; i < items; i++ {
 					start := time.Now()
 					fn(0, i)
-					obs(0, i, start, time.Since(start))
+					// End stamp before obs: see RoundRobinInstrumented.
+					last = time.Now()
+					obs(0, i, start, last.Sub(start))
 					ws.Items++
 				}
+				ws.Busy = last.Sub(first)
 			}
-			ws.Busy = time.Since(first)
 			return
 		})
 	}
@@ -337,7 +345,7 @@ func DynamicInstrumented(items, workers int, fn func(worker, item int), obs Obse
 		})
 	}
 	return instrumentedShell("dynamic", items, workers, func(w int) (ws WorkerStat) {
-		var first time.Time
+		var first, last time.Time
 		for {
 			i := claim()
 			if i < 0 {
@@ -348,11 +356,13 @@ func DynamicInstrumented(items, workers int, fn func(worker, item int), obs Obse
 				first = start
 			}
 			fn(w, i)
-			obs(w, i, start, time.Since(start))
+			// End stamp before obs: see RoundRobinInstrumented.
+			last = time.Now()
+			obs(w, i, start, last.Sub(start))
 			ws.Items++
 		}
 		if ws.Items > 0 {
-			ws.Busy = time.Since(first)
+			ws.Busy = last.Sub(first)
 		}
 		return
 	})

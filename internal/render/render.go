@@ -1,6 +1,7 @@
 package render
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -107,6 +108,14 @@ func (o Options) validate() error {
 // Render raycasts the volume from cam through tf, with all workers
 // sharing one view of the volume.
 func Render(vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
+	return RenderCtx(context.Background(), vol, cam, tf, o)
+}
+
+// RenderCtx is Render with cooperative cancellation: workers stop taking
+// image tiles once ctx is done and the call returns (nil, ctx's error),
+// discarding the partial frame. A context that can never be cancelled
+// takes exactly the non-context code path.
+func RenderCtx(ctx context.Context, vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -115,7 +124,7 @@ func Render(vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, e
 	for w := range views {
 		views[w] = vol
 	}
-	return RenderViews(views, cam, tf, o)
+	return RenderViewsCtx(ctx, views, cam, tf, o)
 }
 
 // RenderViews raycasts with per-worker volume views: worker w samples
@@ -123,6 +132,13 @@ func Render(vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, e
 // pass one traced view per simulated thread. len(views) must equal
 // Workers (after defaulting); all views must agree on dimensions.
 func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
+	return RenderViewsCtx(context.Background(), views, cam, tf, o)
+}
+
+// RenderViewsCtx is RenderViews with cooperative cancellation; see
+// RenderCtx. Tiles are the cancellation granule: a tile that has started
+// runs to completion, and no new tiles are handed out after ctx is done.
+func RenderViewsCtx(ctx context.Context, views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -142,6 +158,9 @@ func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (
 		if x != nx || y != ny || z != nz {
 			return nil, fmt.Errorf("render: view %d dimensions disagree", w)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // fail fast before acceleration-structure builds
 	}
 	var accel *Accel
 	var skipBelow float32
@@ -173,20 +192,25 @@ func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (
 		}
 	}
 	if o.Stats != nil || o.Observer != nil {
-		instrumented := parallel.DynamicInstrumented
+		instrumented := parallel.DynamicInstrumentedCtx
 		if o.Schedule == StaticSchedule {
-			instrumented = parallel.RoundRobinInstrumented
+			instrumented = parallel.RoundRobinInstrumentedCtx
 		}
-		st := instrumented(len(tiles), o.Workers, tile, o.Observer)
+		st, err := instrumented(ctx, len(tiles), o.Workers, tile, o.Observer)
 		if o.Stats != nil {
 			*o.Stats = st
 		}
-	} else {
-		schedule := parallel.Dynamic
-		if o.Schedule == StaticSchedule {
-			schedule = parallel.RoundRobin
+		if err != nil {
+			return nil, err
 		}
-		schedule(len(tiles), o.Workers, tile)
+	} else {
+		schedule := parallel.DynamicCtx
+		if o.Schedule == StaticSchedule {
+			schedule = parallel.RoundRobinCtx
+		}
+		if err := schedule(ctx, len(tiles), o.Workers, tile); err != nil {
+			return nil, err
+		}
 	}
 	return img, nil
 }

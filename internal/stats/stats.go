@@ -87,7 +87,11 @@ func (t *Table) Set(row, col int, v float64) { t.Cells[row][col] = v }
 // At returns the cell at (row, col).
 func (t *Table) At(row, col int) float64 { return t.Cells[row][col] }
 
-// String renders the table as fixed-width text.
+// String renders the table as fixed-width text. Every cell is rendered
+// first and the column width taken from the widest rendered cell or
+// header — not from a sample value pushed through Format, which
+// under-sized the columns (and broke alignment) whenever a real value
+// overflowed the verb's minimum width.
 func (t *Table) String() string {
 	format := t.Format
 	if format == "" {
@@ -99,7 +103,27 @@ func (t *Table) String() string {
 			labelW = len(r)
 		}
 	}
-	cellW := len(fmt.Sprintf(format, -1.0))
+	cells := make([][]string, len(t.RowLabels))
+	cellW := 1 // the "-" placeholder for NaN cells
+	for _, c := range t.ColLabels {
+		if len(c) > cellW {
+			cellW = len(c)
+		}
+	}
+	for r := range t.RowLabels {
+		cells[r] = make([]string, len(t.ColLabels))
+		for c := range t.ColLabels {
+			v := t.Cells[r][c]
+			s := "-"
+			if !math.IsNaN(v) {
+				s = fmt.Sprintf(format, v)
+			}
+			cells[r][c] = s
+			if len(s) > cellW {
+				cellW = len(s)
+			}
+		}
+	}
 	var b strings.Builder
 	if t.Title != "" {
 		fmt.Fprintf(&b, "%s\n", t.Title)
@@ -112,12 +136,7 @@ func (t *Table) String() string {
 	for r, label := range t.RowLabels {
 		fmt.Fprintf(&b, "%-*s", labelW, label)
 		for c := range t.ColLabels {
-			v := t.Cells[r][c]
-			if math.IsNaN(v) {
-				fmt.Fprintf(&b, " %*s", cellW, "-")
-			} else {
-				fmt.Fprintf(&b, " "+format, v)
-			}
+			fmt.Fprintf(&b, " %*s", cellW, cells[r][c])
 		}
 		b.WriteByte('\n')
 	}

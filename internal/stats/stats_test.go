@@ -133,3 +133,52 @@ func TestTableCustomFormat(t *testing.T) {
 		t.Errorf("custom format ignored: %s", tb.String())
 	}
 }
+
+// TestTableGoldenNoOverflow pins the exact rendering for values that fit
+// the default "%8.2f" verb — the case the old sizing handled — so the
+// width fix provably changes nothing here.
+func TestTableGoldenNoOverflow(t *testing.T) {
+	tb := NewTable("Fig X", []string{"r1", "row-2"}, []string{"2", "4"})
+	tb.Set(0, 0, -0.02)
+	tb.Set(0, 1, 0.30)
+	tb.Set(1, 0, 2.23)
+	want := "Fig X\n" +
+		"             2        4\n" +
+		"r1       -0.02     0.30\n" +
+		"row-2     2.23        -\n"
+	if got := tb.String(); got != want {
+		t.Errorf("rendered table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestTableGoldenOverflow pins the rendering when a cell overflows the
+// verb's minimum width. The old sizing took the column width from
+// fmt.Sprintf(format, -1.0) (8 for "%8.2f"), so an 11-char cell like
+// 12345678.25 pushed every later column out of alignment and left the
+// headers sitting over the wrong columns.
+func TestTableGoldenOverflow(t *testing.T) {
+	tb := NewTable("", []string{"a", "bb"}, []string{"1", "2"})
+	tb.Set(0, 0, 12345678.25)
+	tb.Set(0, 1, 1.5)
+	tb.Set(1, 0, 2.25)
+	tb.Set(1, 1, 3)
+	want := "             1           2\n" +
+		"a  12345678.25        1.50\n" +
+		"bb        2.25        3.00\n"
+	if got := tb.String(); got != want {
+		t.Errorf("rendered table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestTableWideHeader checks headers wider than any cell also size the
+// column instead of being sheared off the grid.
+func TestTableWideHeader(t *testing.T) {
+	tb := NewTable("", []string{"r"}, []string{"a-very-wide-col", "2"})
+	tb.Set(0, 0, 1)
+	tb.Set(0, 1, 2)
+	want := "  a-very-wide-col               2\n" +
+		"r            1.00            2.00\n"
+	if got := tb.String(); got != want {
+		t.Errorf("rendered table:\n%q\nwant:\n%q", got, want)
+	}
+}
