@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet bench figures figures-quick cover race clean
+.PHONY: all check build test vet bench bench-smoke fuzz-smoke figures figures-quick cover race clean
 
 all: check
 
@@ -33,6 +33,18 @@ figures-quick:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Compile and single-step every benchmark so they can't silently rot;
+# cheap enough to run in CI on every push.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Short bursts of the native fuzz targets (Go allows one -fuzz pattern
+# per invocation, so the curves run back to back).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzZOrderRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzHilbertRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 
 clean:
 	rm -rf csv frames lod test_output.txt bench_output.txt

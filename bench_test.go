@@ -27,12 +27,12 @@ import (
 // far more expensive than a single kernel run.
 var (
 	benchMu     sync.Mutex
-	benchMRI    = map[string]*grid.Grid{}
-	benchPlume  = map[string]*grid.Grid{}
+	benchMRI    = map[string]*grid.Grid[float32]{}
+	benchPlume  = map[string]*grid.Grid[float32]{}
 	benchImgSum float64 // defeats dead-code elimination
 )
 
-func mriFor(b *testing.B, kind core.Kind, n int) *grid.Grid {
+func mriFor(b *testing.B, kind core.Kind, n int) *grid.Grid[float32] {
 	b.Helper()
 	benchMu.Lock()
 	defer benchMu.Unlock()
@@ -45,7 +45,7 @@ func mriFor(b *testing.B, kind core.Kind, n int) *grid.Grid {
 	return g
 }
 
-func plumeFor(b *testing.B, kind core.Kind, n int) *grid.Grid {
+func plumeFor(b *testing.B, kind core.Kind, n int) *grid.Grid[float32] {
 	b.Helper()
 	benchMu.Lock()
 	defer benchMu.Unlock()

@@ -2,7 +2,8 @@
 //
 // Each figure of the evaluation section maps to -fig N (1..6), the
 // repo's extension studies to -fig 7 (reuse-distance curves) and -fig 8
-// (padding + auto-tuning ablation) and -fig 9 (per-level counter breakdown) and -fig 10 (slice/LOD query costs); -fig 0 runs everything in order,
+// (padding + auto-tuning ablation) and -fig 9 (per-level counter breakdown) and -fig 10 (slice/LOD query costs) and -fig 11 (element-dtype
+// sweep; narrow the axis with -dtype); -fig 0 runs everything in order,
 // which is how EXPERIMENTS.md is produced:
 //
 //	sfcbench -fig 0 -out results.txt
@@ -49,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sfcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig         = fs.Int("fig", 0, "figure to reproduce (1-6 paper, 7-10 extensions); 0 = all")
+		fig         = fs.Int("fig", 0, "figure to reproduce (1-6 paper, 7-11 extensions); 0 = all")
 		quick       = fs.Bool("quick", false, "use the reduced smoke-test grid")
 		out         = fs.String("out", "", "also write results to this file")
 		csvDir      = fs.String("csv", "", "also write each figure's tables as CSV into this directory")
@@ -68,13 +69,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ivy         = fs.String("ivy-threads", "", "override IvyBridge thread sweep, e.g. 2,8,24")
 		mic         = fs.String("mic-threads", "", "override MIC thread sweep, e.g. 59,118")
 		noFastPath  = fs.Bool("no-fastpath", false, "disable the kernels' flat-access fast path (ablation; wall-clock runs only)")
+		dtypes      = fs.String("dtype", "", "element dtypes for the fig 11 sweep, e.g. uint8,float32; default all")
 		verbose     = fs.Bool("v", false, "print progress for each cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *fig < 0 || *fig > 10 {
-		fmt.Fprintf(stderr, "sfcbench: -fig %d out of range (0 = all, 1-6 paper, 7-10 extensions)\n", *fig)
+	if *fig < 0 || *fig > 11 {
+		fmt.Fprintf(stderr, "sfcbench: -fig %d out of range (0 = all, 1-6 paper, 7-11 extensions)\n", *fig)
 		fs.Usage()
 		return 2
 	}
@@ -100,6 +102,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Seed = *seed
 	}
 	cfg.NoFastPath = *noFastPath
+	if *dtypes != "" {
+		for _, part := range strings.Split(*dtypes, ",") {
+			cfg.Dtypes = append(cfg.Dtypes, strings.TrimSpace(part))
+		}
+		// Surface a bad dtype name before minutes of measurement.
+		if _, err := cfg.DtypeList(); err != nil {
+			return fatal(stderr, err)
+		}
+	}
 	var err error
 	if cfg.IvyThreads, err = parseThreads(*ivy, cfg.IvyThreads); err != nil {
 		return fatal(stderr, err)
@@ -152,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	figs := []int{*fig}
 	if *fig == 0 {
-		figs = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		figs = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
 	}
 	var text strings.Builder
 	fmt.Fprintf(&text, "sfcmem experiment run — %s %s/%s, GOMAXPROCS=%d\n",

@@ -32,7 +32,7 @@ func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 
 func TestRunUsageErrors(t *testing.T) {
 	cases := [][]string{
-		{"-fig", "11"},
+		{"-fig", "12"},
 		{"-fig", "-1"},
 		{"-no-such-flag"},
 	}
@@ -66,6 +66,14 @@ func TestRunUnwritableOutputs(t *testing.T) {
 		if !strings.Contains(stderr, "sfcbench:") {
 			t.Errorf("%s: stderr %q lacks error prefix", flagName, stderr)
 		}
+	}
+}
+
+func TestRunBadDtype(t *testing.T) {
+	// Validated up front, before any measurement.
+	code, _, stderr := runCLI(t, append([]string{"-fig", "11", "-dtype", "uint8,int3"}, micro...)...)
+	if code != 1 || !strings.Contains(stderr, "unknown dtype") {
+		t.Errorf("exit %d stderr %q", code, stderr)
 	}
 }
 

@@ -77,7 +77,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	cfg := config{}
 	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "request listen address")
 	fs.StringVar(&cfg.ops, "ops", "localhost:8081", "ops listen address (/metrics, /debug/pprof, /debug/vars)")
-	fs.Var(volumeList{&cfg.volumes}, "volume", "volume spec name=dataset:size:layout (repeatable); default demo=plume:48:zorder")
+	fs.Var(volumeList{&cfg.volumes}, "volume", "volume spec name=dataset:size:layout[:dtype] (repeatable); default demo=plume:48:zorder")
 	fs.IntVar(&cfg.slots, "slots", 2, "requests running kernels concurrently")
 	fs.IntVar(&cfg.queueDepth, "queue", 8, "admitted requests waiting beyond the running ones; overflow gets 429")
 	fs.DurationVar(&cfg.defaultDeadline, "deadline", 30*time.Second, "per-request deadline when the request sets none")
@@ -134,6 +134,10 @@ func newApp(cfg config) (*app, error) {
 	}
 	reg := metrics.NewRegistry()
 	srv := newServer(store, reg, cfg.slots, cfg.queueDepth, cfg.defaultDeadline, cfg.maxDeadline)
+	// The store is fully populated before the listeners bind, so the
+	// service is ready the moment it can accept a connection. A bare
+	// newServer (as in unit tests) answers /readyz with 503.
+	srv.ready.Store(true)
 
 	apiLn, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -165,9 +169,9 @@ func newApp(cfg config) (*app, error) {
 func (a *app) apiAddr() string { return a.apiLn.Addr().String() }
 func (a *app) opsAddr() string { return a.opsLn.Addr().String() }
 
-// run serves until ctx is done, then drains: the health check flips to
-// 503, the listeners close, and in-flight requests get up to the drain
-// timeout to finish before their connections are cut.
+// run serves until ctx is done, then drains: the readiness check flips
+// to 503, the listeners close, and in-flight requests get up to the
+// drain timeout to finish before their connections are cut.
 func (a *app) run(ctx context.Context) error {
 	errc := make(chan error, 2)
 	go func() { errc <- a.api.Serve(a.apiLn) }()

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -36,10 +37,15 @@ type server struct {
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
 	draining        atomic.Bool
+	// ready flips to true once the volume store is populated and the
+	// service is willing to take traffic; /readyz reports 503 until then
+	// and again once draining starts. /healthz stays 200 throughout —
+	// liveness and routability are separate questions.
+	ready atomic.Bool
 
 	// renderImage is the kernel invocation behind POST /render,
 	// replaceable in tests to make admission behaviour deterministic.
-	renderImage func(ctx context.Context, vol sfcmem.Reader, cam sfcmem.Camera, tf *sfcmem.TransferFunc, o sfcmem.RenderOptions) (*sfcmem.Image, error)
+	renderImage func(ctx context.Context, vol *sfcmem.AnyGrid, cam sfcmem.Camera, tf *sfcmem.TransferFunc, o sfcmem.RenderOptions) (*sfcmem.Image, error)
 
 	renderReqs    *metrics.Counter
 	filterReqs    *metrics.Counter
@@ -57,7 +63,7 @@ func newServer(store *volumeStore, reg *metrics.Registry, slots, depth int, defa
 		run:             make(chan struct{}, slots),
 		defaultDeadline: defaultDeadline,
 		maxDeadline:     maxDeadline,
-		renderImage:     sfcmem.RenderCtx,
+		renderImage:     sfcmem.RenderAnyCtx,
 		renderReqs:      reg.Counter("render.requests", 1),
 		filterReqs:      reg.Counter("filter.requests", 1),
 		rejected:        reg.Counter("admission.rejected", 1),
@@ -78,7 +84,9 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /filter", s.handleFilter)
 	m.HandleFunc("GET /volumes", s.handleListVolumes)
 	m.HandleFunc("POST /volumes", s.handleCreateVolume)
+	m.HandleFunc("PUT /volumes/{name}", s.handleUploadVolume)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.HandleFunc("GET /readyz", s.handleReadyz)
 	return m
 }
 
@@ -152,7 +160,10 @@ type renderRequest struct {
 	Shade   bool `json:"shade"`
 	// Format is "png" (default) or "raw": raw is the float32 RGBA
 	// frame, little-endian, row-major.
-	Format     string `json:"format"`
+	Format string `json:"format"`
+	// Dtype, when set, renders the volume converted to that element
+	// type (e.g. "uint8"); default is the volume's stored dtype.
+	Dtype      string `json:"dtype"`
 	DeadlineMS int    `json:"deadline_ms"`
 }
 
@@ -191,6 +202,17 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown volume %q", req.Volume), http.StatusNotFound)
 		return
 	}
+	g := vol.grid
+	if req.Dtype != "" {
+		dt, err := sfcmem.ParseDtype(req.Dtype)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if dt != g.Dtype() {
+			g = g.Convert(dt)
+		}
+	}
 
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
@@ -202,9 +224,9 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := time.Now()
-	nx, ny, nz := vol.grid.Dims()
+	nx, ny, nz := g.Dims()
 	cam := sfcmem.Orbit(req.View, req.Views, nx, ny, nz, req.Width, req.Height)
-	img, err := s.renderImage(ctx, vol.grid, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
+	img, err := s.renderImage(ctx, g, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
 		Workers: req.Workers,
 		Shade:   req.Shade,
 	})
@@ -246,7 +268,10 @@ type filterRequest struct {
 	Axis       string  `json:"axis"` // "x" (default), "y", "z"
 	SigmaRange float64 `json:"sigma_range"`
 	Workers    int     `json:"workers"`
-	DeadlineMS int     `json:"deadline_ms"`
+	// Dtype, when set, converts the source to that element type before
+	// filtering; the destination volume is stored at the same dtype.
+	Dtype      string `json:"dtype"`
+	DeadlineMS int    `json:"deadline_ms"`
 }
 
 func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
@@ -284,11 +309,11 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown axis %q (want x, y, or z)", req.Axis), http.StatusBadRequest)
 		return
 	}
-	kernel := sfcmem.BilateralCtx
+	kernel := sfcmem.BilateralAnyCtx
 	switch req.Kernel {
 	case "bilateral":
 	case "gaussian":
-		kernel = sfcmem.GaussianConvolveCtx
+		kernel = sfcmem.GaussianConvolveAnyCtx
 	default:
 		http.Error(w, fmt.Sprintf("unknown kernel %q (want bilateral or gaussian)", req.Kernel), http.StatusBadRequest)
 		return
@@ -297,6 +322,17 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown volume %q", req.Src), http.StatusNotFound)
 		return
+	}
+	srcGrid := src.grid
+	if req.Dtype != "" {
+		dt, err := sfcmem.ParseDtype(req.Dtype)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if dt != srcGrid.Dtype() {
+			srcGrid = srcGrid.Convert(dt)
+		}
 	}
 
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
@@ -309,8 +345,8 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := time.Now()
-	dst := sfcmem.NewGrid(src.grid.Layout())
-	err = kernel(ctx, src.grid, dst, sfcmem.FilterOptions{
+	dst := sfcmem.NewAnyGrid(srcGrid.Dtype(), srcGrid.Layout())
+	err = kernel(ctx, srcGrid, dst, sfcmem.FilterOptions{
 		Radius:     req.Radius,
 		Axis:       axis,
 		SigmaRange: req.SigmaRange,
@@ -333,6 +369,7 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
 		"volume":  req.Dst,
+		"dtype":   dst.Dtype().String(),
 		"seconds": elapsed.Seconds(),
 	})
 }
@@ -342,6 +379,7 @@ type createVolumeRequest struct {
 	Dataset string `json:"dataset"`
 	Size    int    `json:"size"`
 	Layout  string `json:"layout"`
+	Dtype   string `json:"dtype"` // element type; default float32
 }
 
 func (s *server) handleCreateVolume(w http.ResponseWriter, r *http.Request) {
@@ -353,11 +391,79 @@ func (s *server) handleCreateVolume(w http.ResponseWriter, r *http.Request) {
 	if req.Layout == "" {
 		req.Layout = "zorder"
 	}
-	v, err := synthesizeVolume(req.Name, req.Dataset, req.Size, req.Layout)
+	v, err := synthesizeVolume(req.Name, req.Dataset, req.Size, req.Layout, req.Dtype)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.store.put(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(v.info()) //nolint:errcheck
+}
+
+// maxUploadBytes bounds a PUT /volumes/{name} payload: a 512³ float64
+// volume is 1 GiB, far past what the in-memory store is for, so cap at
+// 256 MiB (a 512³ uint16 volume, or 256³ float64 with headroom).
+const maxUploadBytes = 256 << 20
+
+// handleUploadVolume stores a client-supplied raw volume:
+//
+//	PUT /volumes/{name}?dtype=uint8&layout=zorder&nx=64&ny=64&nz=64
+//
+// with the body holding nx*ny*nz samples of the given dtype,
+// little-endian, row-major. Truncated and oversized bodies are rejected
+// with the expected and actual byte counts.
+func (s *server) handleUploadVolume(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		http.Error(w, "volume name must be non-empty", http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	dtName := q.Get("dtype")
+	if dtName == "" {
+		dtName = "float32"
+	}
+	dt, err := sfcmem.ParseDtype(dtName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	layoutName := q.Get("layout")
+	if layoutName == "" {
+		layoutName = "zorder"
+	}
+	kind, err := sfcmem.ParseLayout(layoutName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dims := [3]int{}
+	for i, key := range []string{"nx", "ny", "nz"} {
+		n, err := strconv.Atoi(q.Get(key))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad %s %q", key, q.Get(key)), http.StatusBadRequest)
+			return
+		}
+		if n < 2 || n > 512 {
+			http.Error(w, fmt.Sprintf("%s %d out of range [2,512]", key, n), http.StatusBadRequest)
+			return
+		}
+		dims[i] = n
+	}
+	if int64(dims[0])*int64(dims[1])*int64(dims[2])*int64(dt.Size()) > maxUploadBytes {
+		http.Error(w, fmt.Sprintf("volume exceeds the %d-byte upload limit", maxUploadBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	l := sfcmem.NewLayout(kind, dims[0], dims[1], dims[2])
+	g, err := sfcmem.LoadRawAny(http.MaxBytesReader(w, r.Body, maxUploadBytes), dt, l)
+	if err != nil {
+		// Truncation/oversize errors name expected vs actual byte counts.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	v := &storedVolume{name: name, dataset: "upload", layout: layoutName, grid: g}
 	s.store.put(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
@@ -369,12 +475,25 @@ func (s *server) handleListVolumes(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.store.list()) //nolint:errcheck
 }
 
-// handleHealthz reports 200 while serving and 503 once draining, so a
-// load balancer stops routing here during shutdown.
+// handleHealthz is the liveness probe: 200 for as long as the process
+// can serve HTTP at all, including while draining — a draining process
+// is still alive and must not be restarted mid-drain. Routability is
+// /readyz's question.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 503 until the volume store is
+// populated and again from the moment shutdown begins, so a load
+// balancer stops routing here during the drain while in-flight
+// requests finish.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "volume store not initialized", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }

@@ -162,14 +162,14 @@ func newBlockingHook() *blockingHook {
 	return &blockingHook{entered: make(chan struct{}, 16), release: make(chan struct{})}
 }
 
-func (h *blockingHook) render(ctx context.Context, vol sfcmem.Reader, cam sfcmem.Camera, tf *sfcmem.TransferFunc, o sfcmem.RenderOptions) (*sfcmem.Image, error) {
+func (h *blockingHook) render(ctx context.Context, vol *sfcmem.AnyGrid, cam sfcmem.Camera, tf *sfcmem.TransferFunc, o sfcmem.RenderOptions) (*sfcmem.Image, error) {
 	h.entered <- struct{}{}
 	select {
 	case <-h.release:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-	return sfcmem.RenderCtx(ctx, vol, cam, tf, o)
+	return sfcmem.RenderAnyCtx(ctx, vol, cam, tf, o)
 }
 
 // TestAdmissionOverflow429 fills one run slot and one queue slot, then

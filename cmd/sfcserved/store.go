@@ -15,9 +15,9 @@ import (
 // under a new name — so concurrent renders can share it without locks.
 type storedVolume struct {
 	name    string
-	dataset string // "plume", "phantom", or "filter:<kernel>"
+	dataset string // "plume", "phantom", "upload", or "<src>+<kernel>"
 	layout  string // layout name as given in the spec
-	grid    *sfcmem.Grid
+	grid    *sfcmem.AnyGrid
 }
 
 // volumeInfo is a volume's JSON form for the /volumes listing.
@@ -25,14 +25,21 @@ type volumeInfo struct {
 	Name    string `json:"name"`
 	Dataset string `json:"dataset"`
 	Layout  string `json:"layout"`
+	Dtype   string `json:"dtype"`
 	Nx      int    `json:"nx"`
 	Ny      int    `json:"ny"`
 	Nz      int    `json:"nz"`
+	Bytes   int64  `json:"bytes"`
 }
 
 func (v *storedVolume) info() volumeInfo {
 	nx, ny, nz := v.grid.Dims()
-	return volumeInfo{Name: v.name, Dataset: v.dataset, Layout: v.layout, Nx: nx, Ny: ny, Nz: nz}
+	return volumeInfo{
+		Name: v.name, Dataset: v.dataset, Layout: v.layout,
+		Dtype: v.grid.Dtype().String(),
+		Nx:    nx, Ny: ny, Nz: nz,
+		Bytes: v.grid.Bytes(),
+	}
 }
 
 // volumeStore maps names to volumes. Lookups vastly outnumber stores
@@ -77,10 +84,10 @@ func (s *volumeStore) list() []volumeInfo {
 // (and the CI smoke job) render identical frames.
 const datasetSeed = 1
 
-// synthesizeVolume builds a named volume from a dataset name, cube edge
-// and layout name — the shared backend of the -volume flag and the
-// POST /volumes handler.
-func synthesizeVolume(name, dataset string, size int, layout string) (*storedVolume, error) {
+// synthesizeVolume builds a named volume from a dataset name, cube edge,
+// layout name and dtype name — the shared backend of the -volume flag
+// and the POST /volumes handler. An empty dtype means float32.
+func synthesizeVolume(name, dataset string, size int, layout, dtype string) (*storedVolume, error) {
 	if name == "" {
 		return nil, fmt.Errorf("volume name must be non-empty")
 	}
@@ -91,13 +98,20 @@ func synthesizeVolume(name, dataset string, size int, layout string) (*storedVol
 	if err != nil {
 		return nil, err
 	}
+	if dtype == "" {
+		dtype = "float32"
+	}
+	dt, err := sfcmem.ParseDtype(dtype)
+	if err != nil {
+		return nil, err
+	}
 	l := sfcmem.NewLayout(kind, size, size, size)
-	var g *sfcmem.Grid
+	var g *sfcmem.AnyGrid
 	switch dataset {
 	case "plume":
-		g = sfcmem.CombustionPlume(l, datasetSeed)
+		g = sfcmem.CombustionPlumeAny(dt, l, datasetSeed)
 	case "phantom":
-		g = sfcmem.MRIPhantom(l, datasetSeed, 0.02)
+		g = sfcmem.MRIPhantomAny(dt, l, datasetSeed, 0.02)
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want plume or phantom)", dataset)
 	}
@@ -105,21 +119,26 @@ func synthesizeVolume(name, dataset string, size int, layout string) (*storedVol
 }
 
 // parseVolumeSpec parses one -volume flag value of the form
-// name=dataset:size:layout, e.g. demo=plume:64:zorder.
+// name=dataset:size:layout[:dtype], e.g. demo=plume:64:zorder or
+// demo8=plume:64:zorder:uint8. The dtype defaults to float32.
 func parseVolumeSpec(spec string) (*storedVolume, error) {
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok {
-		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout", spec)
+		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout[:dtype]", spec)
 	}
 	parts := strings.Split(rest, ":")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout", spec)
+	if len(parts) != 3 && len(parts) != 4 {
+		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout[:dtype]", spec)
 	}
 	size, err := strconv.Atoi(parts[1])
 	if err != nil {
 		return nil, fmt.Errorf("volume spec %q: bad size %q", spec, parts[1])
 	}
-	v, err := synthesizeVolume(name, parts[0], size, parts[2])
+	dtype := ""
+	if len(parts) == 4 {
+		dtype = parts[3]
+	}
+	v, err := synthesizeVolume(name, parts[0], size, parts[2], dtype)
 	if err != nil {
 		return nil, fmt.Errorf("volume spec %q: %w", spec, err)
 	}

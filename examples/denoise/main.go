@@ -88,7 +88,7 @@ func main() {
 	fmt.Println("outputs identical across layouts ✓")
 }
 
-func rmse(a, b *grid.Grid) float64 {
+func rmse(a, b *grid.Grid[float32]) float64 {
 	nx, ny, nz := a.Dims()
 	var sum float64
 	for k := 0; k < nz; k++ {
@@ -102,7 +102,7 @@ func rmse(a, b *grid.Grid) float64 {
 	return math.Sqrt(sum / float64(nx*ny*nz))
 }
 
-func edgeStep(g *grid.Grid) float64 {
+func edgeStep(g *grid.Grid[float32]) float64 {
 	nx, ny, nz := g.Dims()
 	var best float64
 	for i := 1; i < nx; i++ {

@@ -1,0 +1,168 @@
+package sfcmem_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"sfcmem"
+)
+
+func TestAnyGridBasics(t *testing.T) {
+	l := sfcmem.NewLayout(sfcmem.ZOrder, 8, 8, 8)
+	for _, dt := range sfcmem.Dtypes() {
+		a := sfcmem.NewAnyGrid(dt, l)
+		if a.Dtype() != dt {
+			t.Errorf("NewAnyGrid(%v).Dtype() = %v", dt, a.Dtype())
+		}
+		nx, ny, nz := a.Dims()
+		if nx != 8 || ny != 8 || nz != 8 {
+			t.Errorf("%v: dims %dx%dx%d", dt, nx, ny, nz)
+		}
+		if want := int64(8 * 8 * 8 * dt.Size()); a.Bytes() != want {
+			t.Errorf("%v: Bytes() = %d, want %d", dt, a.Bytes(), want)
+		}
+	}
+}
+
+func TestAnyGridWrapAndTypedAccess(t *testing.T) {
+	l := sfcmem.NewLayout(sfcmem.Array, 4, 4, 4)
+	g := sfcmem.NewGridOf[uint16](l)
+	g.Set(1, 2, 3, 32768)
+	a := sfcmem.WrapAny(g)
+	if a.Dtype() != sfcmem.U16 {
+		t.Fatalf("wrapped dtype %v", a.Dtype())
+	}
+	if back := sfcmem.Grids[uint16](a); back == nil || back.At(1, 2, 3) != 32768 {
+		t.Error("Grids[uint16] did not recover the wrapped grid")
+	}
+	if sfcmem.Grids[float32](a) != nil {
+		t.Error("Grids[float32] should be nil for a uint16 AnyGrid")
+	}
+	// 32768/65535 ≈ 0.50000763; Norm must normalize by the dtype scale.
+	if n := a.Norm(1, 2, 3); n < 0.5 || n > 0.501 {
+		t.Errorf("Norm = %v", n)
+	}
+}
+
+func TestAnyGridConvertAndFloat32(t *testing.T) {
+	l := sfcmem.NewLayout(sfcmem.Hilbert, 6, 5, 4)
+	src := sfcmem.MRIPhantomAny(sfcmem.U8, l, 3, 0.02)
+	u16 := src.Convert(sfcmem.U16)
+	if u16.Dtype() != sfcmem.U16 {
+		t.Fatalf("converted dtype %v", u16.Dtype())
+	}
+	// uint8 -> uint16 is exact in code space, so converting back must
+	// reproduce the original codes.
+	back := u16.Convert(sfcmem.U8)
+	a8, b8 := sfcmem.Grids[uint8](src), sfcmem.Grids[uint8](back)
+	f := src.Float32()
+	a8.ForEachIndex(func(i, j, k int, v uint8) {
+		if b8.At(i, j, k) != v {
+			t.Fatalf("u8->u16->u8 changed code at (%d,%d,%d)", i, j, k)
+		}
+		if want := float32(v) / 255; f.At(i, j, k) != want {
+			t.Fatalf("Float32() at (%d,%d,%d) = %v, want %v", i, j, k, f.At(i, j, k), want)
+		}
+	})
+}
+
+func TestAnyGridRelayout(t *testing.T) {
+	src := sfcmem.CombustionPlumeAny(sfcmem.U16, sfcmem.NewLayout(sfcmem.Array, 8, 8, 8), 5)
+	out, err := src.Relayout(sfcmem.NewLayout(sfcmem.ZOrder, 8, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sfcmem.Grids[uint16](src), sfcmem.Grids[uint16](out)
+	a.ForEachIndex(func(i, j, k int, v uint16) {
+		if b.At(i, j, k) != v {
+			t.Fatalf("relayout changed sample (%d,%d,%d)", i, j, k)
+		}
+	})
+}
+
+func TestAnyKernelsRunPerDtype(t *testing.T) {
+	ctx := context.Background()
+	l := sfcmem.NewLayout(sfcmem.ZOrder, 12, 12, 12)
+	for _, dt := range sfcmem.Dtypes() {
+		src := sfcmem.MRIPhantomAny(dt, l, 7, 0.05)
+		dst := sfcmem.NewAnyGrid(dt, l)
+		if err := sfcmem.BilateralAnyCtx(ctx, src, dst, sfcmem.FilterOptions{Radius: 1, Workers: 2}); err != nil {
+			t.Fatalf("%v: bilateral: %v", dt, err)
+		}
+		if err := sfcmem.GaussianConvolveAnyCtx(ctx, src, dst, sfcmem.FilterOptions{Radius: 1, Workers: 2}); err != nil {
+			t.Fatalf("%v: gaussian: %v", dt, err)
+		}
+		vol := sfcmem.CombustionPlumeAny(dt, l, 7)
+		img, err := sfcmem.RenderAnyCtx(ctx, vol, sfcmem.Orbit(0, 8, 12, 12, 12, 24, 24),
+			sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: render: %v", dt, err)
+		}
+		var sum float32
+		for y := 0; y < img.H; y++ {
+			for x := 0; x < img.W; x++ {
+				sum += img.At(x, y).A
+			}
+		}
+		if sum == 0 {
+			t.Errorf("%v: rendered frame is empty", dt)
+		}
+	}
+}
+
+func TestAnyKernelDtypeMismatch(t *testing.T) {
+	l := sfcmem.NewLayout(sfcmem.Array, 8, 8, 8)
+	src := sfcmem.NewAnyGrid(sfcmem.U8, l)
+	dst := sfcmem.NewAnyGrid(sfcmem.F32, l)
+	err := sfcmem.BilateralAnyCtx(context.Background(), src, dst, sfcmem.FilterOptions{Radius: 1})
+	if err == nil || !strings.Contains(err.Error(), "dtype mismatch") {
+		t.Errorf("mismatched dtypes accepted: %v", err)
+	}
+}
+
+func TestAnyRawRoundTrip(t *testing.T) {
+	l := sfcmem.NewLayout(sfcmem.Tiled, 5, 6, 7)
+	for _, dt := range sfcmem.Dtypes() {
+		src := sfcmem.MRIPhantomAny(dt, l, 9, 0.03)
+		var buf bytes.Buffer
+		if err := sfcmem.SaveRawAny(&buf, src); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(5 * 6 * 7 * dt.Size()); int64(buf.Len()) != want {
+			t.Errorf("%v: raw stream %d bytes, want %d", dt, buf.Len(), want)
+		}
+		back, err := sfcmem.LoadRawAny(bytes.NewReader(buf.Bytes()), dt, sfcmem.NewLayout(sfcmem.ZOrder, 5, 6, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, bf := src.Float32(), back.Float32()
+		sf.ForEachIndex(func(i, j, k int, v float32) {
+			if bf.At(i, j, k) != v {
+				t.Fatalf("%v: raw round trip changed sample (%d,%d,%d)", dt, i, j, k)
+			}
+		})
+		// Truncated payloads must be rejected with byte counts.
+		_, err = sfcmem.LoadRawAny(bytes.NewReader(buf.Bytes()[:buf.Len()-1]), dt, l)
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("%v: truncated payload accepted: %v", dt, err)
+		}
+	}
+}
+
+func TestParseDtype(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want sfcmem.Dtype
+	}{{"uint8", sfcmem.U8}, {"u16", sfcmem.U16}, {"float32", sfcmem.F32}, {"double", sfcmem.F64}} {
+		got, err := sfcmem.ParseDtype(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDtype(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := sfcmem.ParseDtype("int9"); err == nil ||
+		!strings.Contains(err.Error(), "recognized") {
+		t.Errorf("ParseDtype error should list recognized dtypes: %v", err)
+	}
+}

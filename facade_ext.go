@@ -125,7 +125,7 @@ type SeparableLayout = core.Separable
 // FlatGrid is a devirtualized view of a grid under a separable layout:
 // the raw sample buffer plus the per-axis offset tables, for hot loops
 // that cannot afford two interface dispatches per access.
-type FlatGrid = grid.Flat
+type FlatGrid = grid.Flat[float32]
 
 // Flatten returns the flat view when r is a plain grid with a separable
 // layout, and nil otherwise — in particular for traced views, which

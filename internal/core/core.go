@@ -108,7 +108,7 @@ func ParseKind(s string) (Kind, error) {
 	case "hzorder", "hz", "hierarchical":
 		return HZKind, nil
 	}
-	return 0, fmt.Errorf("core: unknown layout %q", s)
+	return 0, fmt.Errorf("core: unknown layout %q (recognized: array, zorder, tiled, hilbert, ztiled, hzorder)", s)
 }
 
 // New constructs a layout of the given kind for an nx×ny×nz grid.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -159,6 +160,25 @@ func TestParseKind(t *testing.T) {
 	}
 	if _, err := ParseKind("bogus"); err == nil {
 		t.Error("ParseKind(bogus) should fail")
+	}
+}
+
+// TestParseKindErrorListsLayouts pins the failure message: a typo'd
+// -layout flag should teach the user the recognized names, not just
+// reject the bad one.
+func TestParseKindErrorListsLayouts(t *testing.T) {
+	_, err := ParseKind("bogus")
+	if err == nil {
+		t.Fatal("ParseKind(bogus) should fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown layout "bogus"`) {
+		t.Errorf("error %q should name the rejected input", msg)
+	}
+	for _, k := range Kinds() {
+		if !strings.Contains(msg, k.String()) {
+			t.Errorf("error %q should list layout %q", msg, k.String())
+		}
 	}
 }
 

@@ -10,6 +10,15 @@
 // this is what makes the kernel "computationally intensive" while still
 // being memory-bound.
 //
+// The kernels are generic over the grid.Scalar element types. Samples
+// are normalized into [0,1] on load (dividing by the dtype's scale:
+// 255 for uint8, 65535 for uint16, 1 for floats), all accumulation
+// runs in float64, and results are converted back to the storage dtype
+// on write (round-half-up with clamping for integer dtypes). Because
+// the float scale is exactly 1, the float32 instantiation reproduces
+// the pre-generic arithmetic bit for bit, and SigmaRange keeps meaning
+// "value units in [0,1]" for every dtype.
+//
 // Parallelization follows the paper: 1-D pencils of output voxels are
 // handed to workers round-robin (internal/parallel). The experiment
 // knobs are the stencil radius, the pencil axis (px/pz), the stencil
@@ -69,7 +78,8 @@ type Options struct {
 	// voxels. Zero defaults to Radius/2 + 0.5.
 	SigmaSpatial float64
 	// SigmaRange is the photometric Gaussian's standard deviation in
-	// value units. Zero defaults to 0.1 (data in [0,1]).
+	// normalized value units (data in [0,1] after dtype normalization).
+	// Zero defaults to 0.1.
 	SigmaRange float64
 	// Axis is the pencil direction handed to workers: AxisX is the
 	// paper's "px" (width rows), AxisZ its "pz" (depth rows).
@@ -134,16 +144,20 @@ const rangeLUTSize = 4096
 // it the weight is treated as zero (exp(-8) ≈ 3e-4).
 const rangeLUTSpan = 4.0
 
-// kernel holds the precomputed tables for one filter configuration.
+// kernel holds the precomputed tables for one filter configuration,
+// plus the dtype normalization scale resolved at setup so the hot
+// loops never consult a Dtype.
 type kernel struct {
 	opt      Options
 	spatial  []float64 // (2R+1)³ geometric weights, indexed [dz][dy][dx]
 	rangeLUT []float64
 	invBin   float64 // 1 / LUT bin width
+	scale    float64 // dtype normalization scale (1 for float dtypes)
+	invScale float64 // 1 / scale; multiplying by exactly 1 preserves bits
 }
 
-func newKernel(o Options) *kernel {
-	k := &kernel{opt: o}
+func newKernel(o Options, scale float64) *kernel {
+	k := &kernel{opt: o, scale: scale, invScale: 1 / scale}
 	r := o.Radius
 	side := 2*r + 1
 	k.spatial = make([]float64, side*side*side)
@@ -183,14 +197,18 @@ func (k *kernel) rangeWeight(dv float64) float64 {
 	return k.rangeLUT[bin]
 }
 
-// voxel computes the filtered value at (i,j,k), iterating the stencil in
-// the configured order and skipping out-of-bounds neighbors (the
-// normalization runs over valid neighbors only).
-func (k *kernel) voxel(src grid.Reader, i, j, kk int) float32 {
+// voxelOf computes the filtered value at (i,j,k), iterating the stencil
+// in the configured order and skipping out-of-bounds neighbors (the
+// normalization runs over valid neighbors only). Samples normalize
+// through k.invScale (exactly 1 for float dtypes, so the float32
+// instantiation is bit-identical to the pre-generic kernel); a
+// weightless stencil returns the raw center sample unchanged.
+func voxelOf[T grid.Scalar](k *kernel, src grid.ReaderOf[T], i, j, kk int) T {
 	nx, ny, nz := src.Dims()
 	r := k.opt.Radius
 	side := 2*r + 1
-	center := float64(src.At(i, j, kk))
+	rawCenter := src.At(i, j, kk)
+	center := float64(rawCenter) * k.invScale
 	var num, den float64
 	if k.opt.Order == XYZ {
 		for dz := -r; dz <= r; dz++ {
@@ -209,7 +227,7 @@ func (k *kernel) voxel(src grid.Reader, i, j, kk int) float32 {
 					if x < 0 || x >= nx {
 						continue
 					}
-					v := float64(src.At(x, y, z))
+					v := float64(src.At(x, y, z)) * k.invScale
 					w := k.spatial[base+dx+r] * k.rangeWeight(v-center)
 					num += w * v
 					den += w
@@ -232,7 +250,7 @@ func (k *kernel) voxel(src grid.Reader, i, j, kk int) float32 {
 					if z < 0 || z >= nz {
 						continue
 					}
-					v := float64(src.At(x, y, z))
+					v := float64(src.At(x, y, z)) * k.invScale
 					w := k.spatial[((dz+r)*side+(dy+r))*side+dx+r] * k.rangeWeight(v-center)
 					num += w * v
 					den += w
@@ -241,22 +259,23 @@ func (k *kernel) voxel(src grid.Reader, i, j, kk int) float32 {
 		}
 	}
 	if den == 0 {
-		return float32(center)
+		return rawCenter
 	}
-	return float32(num / den)
+	return grid.FromNorm[T](num/den, k.scale)
 }
 
-// voxelFlat is voxel on the flat fast path: the stencil loops run over
-// the raw buffer through the layout's per-axis offset tables, resolved
-// once per view instead of two interface dispatches per access. The
-// out-of-bounds `continue` skips become clamped loop bounds, which
-// visit exactly the same in-bounds neighbors in the same order — the
-// accumulation sequence, and therefore the result, is bit-identical to
-// the interface path.
-func (k *kernel) voxelFlat(f *grid.Flat, i, j, kk int) float32 {
+// voxelFlatOf is voxelOf on the flat fast path: the stencil loops run
+// over the raw buffer through the layout's per-axis offset tables,
+// resolved once per view instead of two interface dispatches per
+// access. The out-of-bounds `continue` skips become clamped loop
+// bounds, which visit exactly the same in-bounds neighbors in the same
+// order — the accumulation sequence, and therefore the result, is
+// bit-identical to the interface path for every dtype.
+func voxelFlatOf[T grid.Scalar](k *kernel, f *grid.Flat[T], i, j, kk int) T {
 	r := k.opt.Radius
 	side := 2*r + 1
-	center := float64(f.Data[f.X[i]+f.Y[j]+f.Z[kk]])
+	rawCenter := f.Data[f.X[i]+f.Y[j]+f.Z[kk]]
+	center := float64(rawCenter) * k.invScale
 	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
 	ylo, yhi := max(-r, -j), min(r, f.Ny-1-j)
 	zlo, zhi := max(-r, -kk), min(r, f.Nz-1-kk)
@@ -268,7 +287,7 @@ func (k *kernel) voxelFlat(f *grid.Flat, i, j, kk int) float32 {
 				yzoff := f.Y[j+dy] + zoff
 				base := ((dz+r)*side + (dy + r)) * side
 				for dx := xlo; dx <= xhi; dx++ {
-					v := float64(f.Data[f.X[i+dx]+yzoff])
+					v := float64(f.Data[f.X[i+dx]+yzoff]) * k.invScale
 					w := k.spatial[base+dx+r] * k.rangeWeight(v-center)
 					num += w * v
 					den += w
@@ -281,7 +300,7 @@ func (k *kernel) voxelFlat(f *grid.Flat, i, j, kk int) float32 {
 			for dy := ylo; dy <= yhi; dy++ {
 				xyoff := xoff + f.Y[j+dy]
 				for dz := zlo; dz <= zhi; dz++ {
-					v := float64(f.Data[xyoff+f.Z[kk+dz]])
+					v := float64(f.Data[xyoff+f.Z[kk+dz]]) * k.invScale
 					w := k.spatial[((dz+r)*side+(dy+r))*side+dx+r] * k.rangeWeight(v-center)
 					num += w * v
 					den += w
@@ -290,9 +309,9 @@ func (k *kernel) voxelFlat(f *grid.Flat, i, j, kk int) float32 {
 		}
 	}
 	if den == 0 {
-		return float32(center)
+		return rawCenter
 	}
-	return float32(num / den)
+	return grid.FromNorm[T](num/den, k.scale)
 }
 
 // Apply runs the bilateral filter from src into dst with all workers
@@ -302,21 +321,31 @@ func Apply(src grid.Reader, dst grid.Writer, o Options) error {
 	return ApplyCtx(context.Background(), src, dst, o)
 }
 
+// ApplyOf is Apply for any element type.
+func ApplyOf[T grid.Scalar](src grid.ReaderOf[T], dst grid.WriterOf[T], o Options) error {
+	return ApplyCtxOf(context.Background(), src, dst, o)
+}
+
 // ApplyCtx is Apply with cooperative cancellation: workers stop taking
 // pencils once ctx is done and the call returns ctx's error, leaving dst
 // partially written. A context that can never be cancelled takes exactly
 // the non-context code path.
 func ApplyCtx(ctx context.Context, src grid.Reader, dst grid.Writer, o Options) error {
+	return ApplyCtxOf[float32](ctx, src, dst, o)
+}
+
+// ApplyCtxOf is ApplyCtx for any element type.
+func ApplyCtxOf[T grid.Scalar](ctx context.Context, src grid.ReaderOf[T], dst grid.WriterOf[T], o Options) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
 	o = o.withDefaults()
-	srcs := make([]grid.Reader, o.Workers)
-	dsts := make([]grid.Writer, o.Workers)
+	srcs := make([]grid.ReaderOf[T], o.Workers)
+	dsts := make([]grid.WriterOf[T], o.Workers)
 	for w := range srcs {
 		srcs[w], dsts[w] = src, dst
 	}
-	return ApplyViewsCtx(ctx, srcs, dsts, o)
+	return ApplyViewsCtxOf(ctx, srcs, dsts, o)
 }
 
 // ApplyViews runs the bilateral filter with per-worker source and
@@ -325,7 +354,12 @@ func ApplyCtx(ctx context.Context, src grid.Reader, dst grid.Writer, o Options) 
 // traced view per simulated thread. len(srcs) and len(dsts) must equal
 // Workers (after defaulting); all views must agree on dimensions.
 func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
-	return ApplyViewsCtx(context.Background(), srcs, dsts, o)
+	return ApplyViewsCtxOf[float32](context.Background(), srcs, dsts, o)
+}
+
+// ApplyViewsOf is ApplyViews for any element type.
+func ApplyViewsOf[T grid.Scalar](srcs []grid.ReaderOf[T], dsts []grid.WriterOf[T], o Options) error {
+	return ApplyViewsCtxOf(context.Background(), srcs, dsts, o)
 }
 
 // ApplyViewsCtx is ApplyViews with cooperative cancellation; see
@@ -333,6 +367,11 @@ func ApplyViews(srcs []grid.Reader, dsts []grid.Writer, o Options) error {
 // started runs to completion, and no new pencils are handed out after
 // ctx is done.
 func ApplyViewsCtx(ctx context.Context, srcs []grid.Reader, dsts []grid.Writer, o Options) error {
+	return ApplyViewsCtxOf[float32](ctx, srcs, dsts, o)
+}
+
+// ApplyViewsCtxOf is ApplyViewsCtx for any element type.
+func ApplyViewsCtxOf[T grid.Scalar](ctx context.Context, srcs []grid.ReaderOf[T], dsts []grid.WriterOf[T], o Options) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
@@ -350,17 +389,17 @@ func ApplyViewsCtx(ctx context.Context, srcs []grid.Reader, dsts []grid.Writer, 
 		if sx != nx || sy != ny || sz != nz || dx != nx || dy != ny || dz != nz {
 			return fmt.Errorf("filter: view %d dimensions disagree", w)
 		}
-		if backingGrid(srcs[w]) != nil && backingGrid(srcs[w]) == backingGrid(dsts[w]) {
+		if backingGridOf[T](srcs[w]) != nil && backingGridOf[T](srcs[w]) == backingGridOf[T](dsts[w]) {
 			return fmt.Errorf("filter: view %d source and destination alias the same grid (the filter is not in-place)", w)
 		}
 	}
-	k := newKernel(o)
+	k := newKernel(o, grid.NormScale[T]())
 	// Resolve each worker's views to the flat fast path once, at setup:
 	// a plain *grid.Grid under a separable layout flattens to its raw
 	// buffer plus per-axis offset tables; traced views and non-separable
 	// layouts (Hilbert, HZ) resolve to nil and keep the interface path.
-	fsrcs := make([]*grid.Flat, o.Workers)
-	fdsts := make([]*grid.Flat, o.Workers)
+	fsrcs := make([]*grid.Flat[T], o.Workers)
+	fdsts := make([]*grid.Flat[T], o.Workers)
 	if !o.NoFastPath {
 		for w := 0; w < o.Workers; w++ {
 			fsrcs[w] = grid.Flatten(srcs[w])
@@ -373,14 +412,14 @@ func ApplyViewsCtx(ctx context.Context, srcs []grid.Reader, dsts []grid.Writer, 
 		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
 		if fsrc, fdst := fsrcs[w], fdsts[w]; fsrc != nil && fdst != nil {
 			for s := 0; s < length; s++ {
-				fdst.Data[fdst.X[i]+fdst.Y[j]+fdst.Z[kk]] = k.voxelFlat(fsrc, i, j, kk)
+				fdst.Data[fdst.X[i]+fdst.Y[j]+fdst.Z[kk]] = voxelFlatOf(k, fsrc, i, j, kk)
 				i, j, kk = i+di, j+dj, kk+dk
 			}
 			return
 		}
 		src, dst := srcs[w], dsts[w]
 		for s := 0; s < length; s++ {
-			dst.Set(i, j, kk, k.voxel(src, i, j, kk))
+			dst.Set(i, j, kk, voxelOf(k, src, i, j, kk))
 			i, j, kk = i+di, j+dj, kk+dk
 		}
 	}
@@ -394,13 +433,14 @@ func ApplyViewsCtx(ctx context.Context, srcs []grid.Reader, dsts []grid.Writer, 
 	return parallel.RoundRobinCtx(ctx, pencils, o.Workers, pencil)
 }
 
-// backingGrid unwraps a view to the *grid.Grid it reads or writes, or
-// nil if the view is not grid-backed (aliasing then cannot be checked).
-func backingGrid(v any) *grid.Grid {
+// backingGridOf unwraps a view to the *grid.Grid[T] it reads or writes,
+// or nil if the view is not grid-backed (aliasing then cannot be
+// checked).
+func backingGridOf[T grid.Scalar](v any) *grid.Grid[T] {
 	switch g := v.(type) {
-	case *grid.Grid:
+	case *grid.Grid[T]:
 		return g
-	case *grid.Traced:
+	case *grid.Traced[T]:
 		return g.Grid()
 	}
 	return nil
@@ -460,12 +500,22 @@ func Reference(src grid.Reader, dst grid.Writer, o Options) error {
 // filter's edge preservation buys (Howison & Bethel 2014 comparison)
 // and as a second structured-access workload for the benches.
 func GaussianConvolve(src grid.Reader, dst grid.Writer, o Options) error {
-	return GaussianConvolveCtx(context.Background(), src, dst, o)
+	return GaussianConvolveCtxOf[float32](context.Background(), src, dst, o)
+}
+
+// GaussianConvolveOf is GaussianConvolve for any element type.
+func GaussianConvolveOf[T grid.Scalar](src grid.ReaderOf[T], dst grid.WriterOf[T], o Options) error {
+	return GaussianConvolveCtxOf(context.Background(), src, dst, o)
 }
 
 // GaussianConvolveCtx is GaussianConvolve with cooperative cancellation;
 // see ApplyCtx for the semantics.
 func GaussianConvolveCtx(ctx context.Context, src grid.Reader, dst grid.Writer, o Options) error {
+	return GaussianConvolveCtxOf[float32](ctx, src, dst, o)
+}
+
+// GaussianConvolveCtxOf is GaussianConvolveCtx for any element type.
+func GaussianConvolveCtxOf[T grid.Scalar](ctx context.Context, src grid.ReaderOf[T], dst grid.WriterOf[T], o Options) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
@@ -473,12 +523,12 @@ func GaussianConvolveCtx(ctx context.Context, src grid.Reader, dst grid.Writer, 
 		return err
 	}
 	o = o.withDefaults()
-	if backingGrid(src) != nil && backingGrid(src) == backingGrid(dst) {
+	if backingGridOf[T](src) != nil && backingGridOf[T](src) == backingGridOf[T](dst) {
 		return fmt.Errorf("filter: source and destination alias the same grid")
 	}
 	nx, ny, nz := src.Dims()
-	k := newKernel(o)
-	var fsrc, fdst *grid.Flat
+	k := newKernel(o, grid.NormScale[T]())
+	var fsrc, fdst *grid.Flat[T]
 	if !o.NoFastPath {
 		fsrc, fdst = grid.Flatten(src), grid.FlattenWriter(dst)
 	}
@@ -488,13 +538,13 @@ func GaussianConvolveCtx(ctx context.Context, src grid.Reader, dst grid.Writer, 
 		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
 		if fsrc != nil && fdst != nil {
 			for s := 0; s < length; s++ {
-				fdst.Data[fdst.X[i]+fdst.Y[j]+fdst.Z[kk]] = k.gaussVoxelFlat(fsrc, i, j, kk)
+				fdst.Data[fdst.X[i]+fdst.Y[j]+fdst.Z[kk]] = gaussVoxelFlatOf(k, fsrc, i, j, kk)
 				i, j, kk = i+di, j+dj, kk+dk
 			}
 			return
 		}
 		for s := 0; s < length; s++ {
-			dst.Set(i, j, kk, k.gaussVoxel(src, i, j, kk))
+			dst.Set(i, j, kk, gaussVoxelOf(k, src, i, j, kk))
 			i, j, kk = i+di, j+dj, kk+dk
 		}
 	}
@@ -510,9 +560,9 @@ func GaussianConvolveCtx(ctx context.Context, src grid.Reader, dst grid.Writer, 
 	return parallel.RoundRobinCtx(ctx, pencils, o.Workers, pencil)
 }
 
-// gaussVoxel computes the plain Gaussian smoothing at (i,j,k) on the
+// gaussVoxelOf computes the plain Gaussian smoothing at (i,j,k) on the
 // interface path.
-func (k *kernel) gaussVoxel(src grid.Reader, i, j, kk int) float32 {
+func gaussVoxelOf[T grid.Scalar](k *kernel, src grid.ReaderOf[T], i, j, kk int) T {
 	nx, ny, nz := src.Dims()
 	r := k.opt.Radius
 	side := 2*r + 1
@@ -534,17 +584,18 @@ func (k *kernel) gaussVoxel(src grid.Reader, i, j, kk int) float32 {
 					continue
 				}
 				w := k.spatial[base+dx+r]
-				num += w * float64(src.At(x, y, z))
+				num += w * (float64(src.At(x, y, z)) * k.invScale)
 				den += w
 			}
 		}
 	}
-	return float32(num / den)
+	return grid.FromNorm[T](num/den, k.scale)
 }
 
-// gaussVoxelFlat is gaussVoxel on the flat fast path; same clamped-bounds
-// transformation as voxelFlat, bit-identical accumulation.
-func (k *kernel) gaussVoxelFlat(f *grid.Flat, i, j, kk int) float32 {
+// gaussVoxelFlatOf is gaussVoxelOf on the flat fast path; same
+// clamped-bounds transformation as voxelFlatOf, bit-identical
+// accumulation.
+func gaussVoxelFlatOf[T grid.Scalar](k *kernel, f *grid.Flat[T], i, j, kk int) T {
 	r := k.opt.Radius
 	side := 2*r + 1
 	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
@@ -558,10 +609,10 @@ func (k *kernel) gaussVoxelFlat(f *grid.Flat, i, j, kk int) float32 {
 			base := ((dz+r)*side + (dy + r)) * side
 			for dx := xlo; dx <= xhi; dx++ {
 				w := k.spatial[base+dx+r]
-				num += w * float64(f.Data[f.X[i+dx]+yzoff])
+				num += w * (float64(f.Data[f.X[i+dx]+yzoff]) * k.invScale)
 				den += w
 			}
 		}
 	}
-	return float32(num / den)
+	return grid.FromNorm[T](num/den, k.scale)
 }

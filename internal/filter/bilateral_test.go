@@ -36,7 +36,7 @@ func TestLayoutInvariance(t *testing.T) {
 	// layouts: iteration is in index space, so summation order is fixed.
 	const n = 16
 	ref := volume.MRIPhantom(core.NewArrayOrder(n, n, n), 1, 0.05)
-	var outputs []*grid.Grid
+	var outputs []*grid.Grid[float32]
 	for _, kind := range core.Kinds() {
 		src, err := ref.Relayout(core.New(kind, n, n, n))
 		if err != nil {
@@ -59,7 +59,7 @@ func TestLayoutInvariance(t *testing.T) {
 func TestWorkerCountInvariance(t *testing.T) {
 	const n = 12
 	src := volume.MRIPhantom(core.NewZOrder(n, n, n), 2, 0.05)
-	var ref *grid.Grid
+	var ref *grid.Grid[float32]
 	for _, workers := range []int{1, 2, 5, 16} {
 		dst := grid.New(core.NewZOrder(n, n, n))
 		o := defaultOpts()
@@ -78,7 +78,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 func TestPencilAxisInvariance(t *testing.T) {
 	const n = 10
 	src := volume.MRIPhantom(core.NewArrayOrder(n, n, n), 3, 0.05)
-	var ref *grid.Grid
+	var ref *grid.Grid[float32]
 	for _, axis := range []parallel.Axis{parallel.AxisX, parallel.AxisY, parallel.AxisZ} {
 		dst := grid.New(core.NewArrayOrder(n, n, n))
 		o := defaultOpts()
@@ -173,7 +173,7 @@ func TestPreservesEdgesBetterThanGaussian(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Measure the sharpest value step along the center row.
-	edge := func(g *grid.Grid) float64 {
+	edge := func(g *grid.Grid[float32]) float64 {
 		var maxStep float64
 		for i := 1; i < n; i++ {
 			d := math.Abs(float64(g.At(i, n/2, n/2)) - float64(g.At(i-1, n/2, n/2)))
@@ -392,7 +392,7 @@ func TestRangeWeightAccuracy(t *testing.T) {
 	// and the worst-case error against exact exp over the covered range
 	// is bounded by the half-bin slope error plus the clipped tail.
 	o := Options{Radius: 1, SigmaRange: 0.15}.withDefaults()
-	k := newKernel(o)
+	k := newKernel(o, 1)
 	if w := k.rangeWeight(0); w != 1 {
 		t.Fatalf("rangeWeight(0) = %v, want exactly 1", w)
 	}
@@ -442,7 +442,7 @@ func TestOutputRangeBounded(t *testing.T) {
 	}
 }
 
-func variance(g *grid.Grid) float64 {
+func variance(g *grid.Grid[float32]) float64 {
 	nx, ny, nz := g.Dims()
 	var sum, sq float64
 	n := float64(nx * ny * nz)
@@ -473,6 +473,36 @@ func benchBilateral(b *testing.B, kind core.Kind, radius int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := Apply(src, dst, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBilateralDtypes(b *testing.B) {
+	// The headline claim of the dtype extension: a uint8 volume (4x
+	// smaller, integer range weights) should beat float32 at the large
+	// radius where the kernel is bandwidth-bound. Same field for every
+	// dtype — converted from one float32 phantom.
+	const n = 32
+	o := Options{Radius: 5, SigmaSpatial: 2.0, SigmaRange: 0.1}
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.TiledKind, core.HilbertKind} {
+		f32 := volume.MRIPhantom(core.New(kind, n, n, n), 1, 0.05)
+		b.Run("float32/"+kind.String(), func(b *testing.B) {
+			benchBilateralOf(b, f32, o)
+		})
+		b.Run("uint8/"+kind.String(), func(b *testing.B) {
+			benchBilateralOf(b, grid.ConvertGrid[uint8](f32), o)
+		})
+	}
+}
+
+func benchBilateralOf[T grid.Scalar](b *testing.B, src *grid.Grid[T], o Options) {
+	b.Helper()
+	dst := grid.NewOf[T](src.Layout())
+	b.SetBytes(int64(len(src.Data())) * int64(grid.DtypeFor[T]().Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ApplyOf[T](src, dst, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -553,7 +583,7 @@ func TestNonCubicVolumes(t *testing.T) {
 	base := grid.FromFunc(core.NewArrayOrder(nx, ny, nz), func(i, j, k int) float32 {
 		return float32(i+2*j+3*k) / float32(nx+2*ny+3*nz)
 	})
-	var ref *grid.Grid
+	var ref *grid.Grid[float32]
 	for _, kind := range core.Kinds() {
 		src, err := base.Relayout(core.New(kind, nx, ny, nz))
 		if err != nil {

@@ -1,0 +1,163 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scalar is the set of element types a volume can store. The paper's
+// locality argument is really about voxels-per-cache-line, so the
+// element width is a first-class experimental axis: a 64-byte line
+// holds 16 float32 voxels but 64 uint8 voxels, which shifts where each
+// layout's payoff lands. The constraint deliberately has no tilde
+// terms, so a type switch over the four members is exhaustive.
+type Scalar interface {
+	uint8 | uint16 | float32 | float64
+}
+
+// Accum is the floating-point type kernels accumulate in. Element
+// storage may be narrow, but filter sums and ray compositing always
+// run in float32 or float64 so precision is a property of the kernel,
+// not of the storage dtype.
+type Accum interface {
+	float32 | float64
+}
+
+// Dtype names a Scalar member at runtime — the dynamic mirror of the
+// static constraint, used by IO, the facade's AnyGrid and sfcserved's
+// request fields.
+type Dtype uint8
+
+const (
+	U8 Dtype = iota
+	U16
+	F32
+	F64
+)
+
+// String returns the canonical dtype name ("uint8", "uint16",
+// "float32", "float64").
+func (d Dtype) String() string {
+	switch d {
+	case U8:
+		return "uint8"
+	case U16:
+		return "uint16"
+	case F32:
+		return "float32"
+	case F64:
+		return "float64"
+	}
+	return fmt.Sprintf("Dtype(%d)", uint8(d))
+}
+
+// Size returns the element width in bytes.
+func (d Dtype) Size() int {
+	switch d {
+	case U8:
+		return 1
+	case U16:
+		return 2
+	case F32:
+		return 4
+	case F64:
+		return 8
+	}
+	return 0
+}
+
+// Scale returns the normalization scale of the dtype: stored sample v
+// represents the normalized value v/Scale. Integer types span their
+// full range over [0,1] (the convention of 8/16-bit scanner exports);
+// float types store normalized values directly.
+func (d Dtype) Scale() float64 {
+	switch d {
+	case U8:
+		return 255
+	case U16:
+		return 65535
+	}
+	return 1
+}
+
+// Dtypes returns all supported dtypes in element-size order.
+func Dtypes() []Dtype { return []Dtype{U8, U16, F32, F64} }
+
+// ParseDtype parses a dtype name, accepting the canonical names and
+// the short forms u8/u16/f32/f64, case-insensitively.
+func ParseDtype(s string) (Dtype, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "uint8", "u8", "byte":
+		return U8, nil
+	case "uint16", "u16":
+		return U16, nil
+	case "float32", "f32", "float":
+		return F32, nil
+	case "float64", "f64", "double":
+		return F64, nil
+	}
+	return 0, fmt.Errorf("grid: unknown dtype %q (recognized: uint8, uint16, float32, float64)", s)
+}
+
+// DtypeFor returns the Dtype describing T. The type switch is
+// setup-time only; hot loops must use monomorphized conversions, never
+// this function.
+func DtypeFor[T Scalar]() Dtype {
+	var z T
+	switch any(z).(type) {
+	case uint8:
+		return U8
+	case uint16:
+		return U16
+	case float32:
+		return F32
+	default:
+		return F64
+	}
+}
+
+// NormScale returns DtypeFor[T]().Scale() — the divisor that maps
+// stored samples of T into normalized [0,1] space.
+func NormScale[T Scalar]() float64 { return DtypeFor[T]().Scale() }
+
+// FromNorm converts a normalized value x (nominally in [0,1]) to the
+// storage representation of T under the given scale. For scale == 1
+// (float dtypes) this is exactly T(x), preserving bit-identity with
+// float-native kernels; for integer dtypes it rounds half-up and
+// clamps to [0, scale].
+func FromNorm[T Scalar](x, scale float64) T {
+	if scale == 1 {
+		return T(x)
+	}
+	v := x * scale
+	if v <= 0 {
+		return T(0)
+	}
+	if v >= scale {
+		return T(scale)
+	}
+	return T(math.Floor(v + 0.5))
+}
+
+// QuantizeUnit converts a [0,1] float32 sample (the dataset
+// generators' native output) to T. For T = float32 this is the
+// identity, so generated float32 volumes are bit-identical to the
+// pre-generic generators.
+func QuantizeUnit[T Scalar](v float32) T {
+	return FromNorm[T](float64(v), NormScale[T]())
+}
+
+// ConvertGrid copies g into a new grid of element type Dst under the
+// same layout, mapping samples through normalized space:
+// dst = FromNorm(float64(src)/srcScale). Converting between equal
+// dtypes reproduces the source samples exactly.
+func ConvertGrid[Dst, Src Scalar](g *Grid[Src]) *Grid[Dst] {
+	out := NewOf[Dst](g.layout)
+	srcInv := 1 / NormScale[Src]()
+	dstScale := NormScale[Dst]()
+	for idx, v := range g.data {
+		out.data[idx] = FromNorm[Dst](float64(v)*srcInv, dstScale)
+	}
+	return out
+}

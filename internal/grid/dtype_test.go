@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"sfcmem/internal/core"
+)
+
+func TestDtypeProperties(t *testing.T) {
+	cases := []struct {
+		dt    Dtype
+		name  string
+		size  int
+		scale float64
+	}{
+		{U8, "uint8", 1, 255},
+		{U16, "uint16", 2, 65535},
+		{F32, "float32", 4, 1},
+		{F64, "float64", 8, 1},
+	}
+	for _, c := range cases {
+		if c.dt.String() != c.name || c.dt.Size() != c.size || c.dt.Scale() != c.scale {
+			t.Errorf("%v: got (%s,%d,%g), want (%s,%d,%g)",
+				c.dt, c.dt.String(), c.dt.Size(), c.dt.Scale(), c.name, c.size, c.scale)
+		}
+		got, err := ParseDtype(c.name)
+		if err != nil || got != c.dt {
+			t.Errorf("ParseDtype(%q) = %v, %v", c.name, got, err)
+		}
+	}
+	if _, err := ParseDtype("int7"); err == nil {
+		t.Error("ParseDtype(int7) should fail")
+	}
+	if got, err := ParseDtype("  F32 "); err != nil || got != F32 {
+		t.Errorf("ParseDtype should case-fold and trim: got %v, %v", got, err)
+	}
+}
+
+func TestDtypeFor(t *testing.T) {
+	if DtypeFor[uint8]() != U8 || DtypeFor[uint16]() != U16 ||
+		DtypeFor[float32]() != F32 || DtypeFor[float64]() != F64 {
+		t.Error("DtypeFor mapped a Scalar to the wrong Dtype")
+	}
+}
+
+func TestFromNormFloatIsIdentity(t *testing.T) {
+	for _, x := range []float64{0, 0.25, 1, -0.5, 1.5, 1.0 / 3.0} {
+		if got := FromNorm[float32](x, 1); got != float32(x) {
+			t.Errorf("FromNorm[float32](%v) = %v, want %v", x, got, float32(x))
+		}
+		if got := FromNorm[float64](x, 1); got != x {
+			t.Errorf("FromNorm[float64](%v) = %v, want %v", x, got, x)
+		}
+	}
+}
+
+func TestFromNormIntRoundsAndClamps(t *testing.T) {
+	if got := FromNorm[uint8](0.5, 255); got != 128 { // 127.5 rounds half-up
+		t.Errorf("FromNorm[uint8](0.5) = %d, want 128", got)
+	}
+	if got := FromNorm[uint8](-0.2, 255); got != 0 {
+		t.Errorf("FromNorm[uint8](-0.2) = %d, want 0", got)
+	}
+	if got := FromNorm[uint8](1.7, 255); got != 255 {
+		t.Errorf("FromNorm[uint8](1.7) = %d, want 255", got)
+	}
+	if got := FromNorm[uint16](1, 65535); got != 65535 {
+		t.Errorf("FromNorm[uint16](1) = %d, want 65535", got)
+	}
+	// Every uint8 code must survive a normalize/denormalize round trip.
+	for v := 0; v <= 255; v++ {
+		norm := float64(v) / 255
+		if got := FromNorm[uint8](norm, 255); int(got) != v {
+			t.Fatalf("uint8 code %d round-tripped to %d", v, got)
+		}
+	}
+}
+
+func TestQuantizeUnitFloat32Identity(t *testing.T) {
+	for _, v := range []float32{0, 0.123456, 0.9999999, 1} {
+		if got := QuantizeUnit[float32](v); got != v {
+			t.Errorf("QuantizeUnit[float32](%v) = %v", v, got)
+		}
+	}
+}
+
+func TestConvertGridRoundTrips(t *testing.T) {
+	l := core.NewZOrder(9, 6, 5)
+	src := FromFunc(l, func(i, j, k int) float32 {
+		return float32(i+j+k) / 18
+	})
+	// Same-dtype conversion is exact.
+	if !Equal(ConvertGrid[float32](src), src) {
+		t.Error("float32->float32 conversion not identity")
+	}
+	// float32 -> uint8 -> float32 must stay within half a code.
+	u8 := ConvertGrid[uint8](src)
+	back := ConvertGrid[float32](u8)
+	if d := MaxAbsDiff(src, back); d > 0.5/255+1e-7 {
+		t.Errorf("uint8 round trip error %v exceeds half a code", d)
+	}
+	// uint8 -> uint16 -> uint8 is exact (65535 is a multiple of 255).
+	u16 := ConvertGrid[uint16](u8)
+	if !Equal(ConvertGrid[uint8](u16), u8) {
+		t.Error("uint8->uint16->uint8 not exact")
+	}
+	if u8.Dtype() != U8 || u16.Dtype() != U16 {
+		t.Error("Dtype() mismatch on converted grids")
+	}
+}
+
+func TestTracedElemSizePerDtype(t *testing.T) {
+	l := core.NewArrayOrder(4, 1, 1)
+	checkStride := func(t *testing.T, addrs []uint64, want uint64) {
+		t.Helper()
+		if len(addrs) != 2 || addrs[1]-addrs[0] != want {
+			t.Fatalf("addresses %v: want stride %d", addrs, want)
+		}
+	}
+	var addrs []uint64
+	sink := SinkFunc(func(a uint64, _ bool) { addrs = append(addrs, a) })
+
+	tr8 := NewTraced(NewOf[uint8](l), 0, sink)
+	tr8.At(0, 0, 0)
+	tr8.At(1, 0, 0)
+	checkStride(t, addrs, 1)
+
+	addrs = nil
+	tr64 := NewTraced(NewOf[float64](l), 0, sink)
+	tr64.At(0, 0, 0)
+	tr64.At(1, 0, 0)
+	checkStride(t, addrs, 8)
+
+	addrs = nil
+	tr32 := NewTraced(New(l), 0, sink)
+	tr32.At(0, 0, 0)
+	tr32.At(1, 0, 0)
+	checkStride(t, addrs, 4)
+}
+
+func TestFlatPathsEngageForEveryDtype(t *testing.T) {
+	// The flat fast path must survive the generic refactor for all four
+	// dtypes: Flatten succeeds on separable layouts and agrees with the
+	// interface path sample for sample.
+	l := core.NewZOrder(8, 7, 6)
+	checkDtype(t, NewOf[uint8](l))
+	checkDtype(t, NewOf[uint16](l))
+	checkDtype(t, NewOf[float32](l))
+	checkDtype(t, NewOf[float64](l))
+}
+
+func checkDtype[T Scalar](t *testing.T, g *Grid[T]) {
+	t.Helper()
+	nx, ny, nz := g.Dims()
+	scale := NormScale[T]()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				g.Set(i, j, k, FromNorm[T](float64(i+10*j+100*k)/float64(100*nz), scale))
+			}
+		}
+	}
+	f := Flatten[T](g)
+	if f == nil {
+		t.Fatalf("%v: Flatten failed on a separable layout", DtypeFor[T]())
+	}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if f.At(i, j, k) != g.At(i, j, k) {
+					t.Fatalf("%v: flat At(%d,%d,%d) disagrees", DtypeFor[T](), i, j, k)
+				}
+			}
+		}
+	}
+	inv := 1 / scale
+	for _, p := range [][3]float64{{1.5, 2.25, 3.75}, {0, 0, 0}, {6.9, 5.9, 4.9}} {
+		want := SampleReader(g, inv, p[0], p[1], p[2])
+		got := SampleFlat(f, inv, p[0], p[1], p[2])
+		if got != want {
+			t.Fatalf("%v: SampleFlat(%v) = %v, interface path %v", DtypeFor[T](), p, got, want)
+		}
+		if math.IsNaN(float64(got)) {
+			t.Fatalf("%v: sample is NaN", DtypeFor[T]())
+		}
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"sfcmem/internal/core"
 )
 
-func flatTestVolume(kind core.Kind, nx, ny, nz int) *Grid {
+func flatTestVolume(kind core.Kind, nx, ny, nz int) *Grid[float32] {
 	return FromFunc(core.New(kind, nx, ny, nz), func(i, j, k int) float32 {
 		return float32(i) + 10*float32(j) - 3*float32(k) + 0.25
 	})

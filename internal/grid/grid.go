@@ -1,12 +1,17 @@
-// Package grid provides a 3D structured volume of float32 samples stored
-// behind a core.Layout, so the same application code can run over
-// array-order, Z-order, tiled, or Hilbert memory layouts transparently —
-// the paper's getIndex(i,j,k) accessor made concrete.
+// Package grid provides a 3D structured volume of scalar samples
+// stored behind a core.Layout, so the same application code can run
+// over array-order, Z-order, tiled, or Hilbert memory layouts
+// transparently — the paper's getIndex(i,j,k) accessor made concrete.
 //
-// The kernels in internal/filter and internal/render access volumes only
-// through the Reader/Writer interfaces, which both *Grid and the traced
-// wrappers in this package satisfy; swapping a traced view in is how the
-// cache-simulation experiments observe every memory access.
+// Grid is generic over the Scalar element types (uint8, uint16,
+// float32, float64); element width is an experimental axis in its own
+// right because it sets voxels-per-cache-line. The kernels in
+// internal/filter and internal/render access volumes only through the
+// ReaderOf/WriterOf interfaces, which both *Grid and the traced
+// wrappers in this package satisfy; swapping a traced view in is how
+// the cache-simulation experiments observe every memory access. The
+// plain Reader/Writer names remain the float32 instantiations, so the
+// pre-generic API is source-compatible.
 package grid
 
 import (
@@ -16,42 +21,61 @@ import (
 	"sfcmem/internal/core"
 )
 
-// Reader is read-only access to a 3D volume.
-type Reader interface {
+// ReaderOf is read-only access to a 3D volume of T samples.
+type ReaderOf[T Scalar] interface {
 	// At returns the sample at (i,j,k). Indices must be in range.
-	At(i, j, k int) float32
+	At(i, j, k int) T
 	// Dims returns the volume extents.
 	Dims() (nx, ny, nz int)
 }
 
-// Writer is write access to a 3D volume.
-type Writer interface {
+// WriterOf is write access to a 3D volume of T samples.
+type WriterOf[T Scalar] interface {
 	// Set stores v at (i,j,k). Indices must be in range.
-	Set(i, j, k int, v float32)
+	Set(i, j, k int, v T)
 	// Dims returns the volume extents.
 	Dims() (nx, ny, nz int)
 }
 
-// Grid is a 3D float32 volume stored in a flat buffer addressed through
-// a core.Layout.
-type Grid struct {
+// View is combined read/write access to a 3D volume of T samples.
+type View[T Scalar] interface {
+	ReaderOf[T]
+	WriterOf[T]
+}
+
+// Reader and Writer are the float32 instantiations — the interfaces
+// the pre-generic kernels were written against.
+type (
+	Reader = ReaderOf[float32]
+	Writer = WriterOf[float32]
+)
+
+// Grid is a 3D volume of T samples stored in a flat buffer addressed
+// through a core.Layout.
+type Grid[T Scalar] struct {
 	layout core.Layout
-	data   []float32
+	data   []T
 }
 
 var (
-	_ Reader = (*Grid)(nil)
-	_ Writer = (*Grid)(nil)
+	_ Reader        = (*Grid[float32])(nil)
+	_ Writer        = (*Grid[float32])(nil)
+	_ View[uint8]   = (*Grid[uint8])(nil)
+	_ View[float64] = (*Grid[float64])(nil)
 )
 
-// New allocates a zero-filled grid under the given layout.
-func New(l core.Layout) *Grid {
-	return &Grid{layout: l, data: make([]float32, l.Len())}
+// NewOf allocates a zero-filled grid of T under the given layout.
+func NewOf[T Scalar](l core.Layout) *Grid[T] {
+	return &Grid[T]{layout: l, data: make([]T, l.Len())}
 }
 
-// FromFunc allocates a grid and fills element (i,j,k) with f(i,j,k).
-func FromFunc(l core.Layout, f func(i, j, k int) float32) *Grid {
-	g := New(l)
+// New allocates a zero-filled float32 grid under the given layout.
+func New(l core.Layout) *Grid[float32] { return NewOf[float32](l) }
+
+// FromFuncOf allocates a grid of T and fills element (i,j,k) with
+// f(i,j,k).
+func FromFuncOf[T Scalar](l core.Layout, f func(i, j, k int) T) *Grid[T] {
+	g := NewOf[T](l)
 	nx, ny, nz := l.Dims()
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
@@ -63,32 +87,41 @@ func FromFunc(l core.Layout, f func(i, j, k int) float32) *Grid {
 	return g
 }
 
+// FromFunc allocates a float32 grid and fills element (i,j,k) with
+// f(i,j,k).
+func FromFunc(l core.Layout, f func(i, j, k int) float32) *Grid[float32] {
+	return FromFuncOf[float32](l, f)
+}
+
 // At returns the sample at (i,j,k).
-func (g *Grid) At(i, j, k int) float32 { return g.data[g.layout.Index(i, j, k)] }
+func (g *Grid[T]) At(i, j, k int) T { return g.data[g.layout.Index(i, j, k)] }
 
 // Set stores v at (i,j,k).
-func (g *Grid) Set(i, j, k int, v float32) { g.data[g.layout.Index(i, j, k)] = v }
+func (g *Grid[T]) Set(i, j, k int, v T) { g.data[g.layout.Index(i, j, k)] = v }
 
 // Dims returns the volume extents.
-func (g *Grid) Dims() (nx, ny, nz int) { return g.layout.Dims() }
+func (g *Grid[T]) Dims() (nx, ny, nz int) { return g.layout.Dims() }
 
 // Layout returns the grid's memory layout.
-func (g *Grid) Layout() core.Layout { return g.layout }
+func (g *Grid[T]) Layout() core.Layout { return g.layout }
 
 // Data exposes the underlying buffer (including any layout padding).
 // Callers must index it through Layout().Index.
-func (g *Grid) Data() []float32 { return g.data }
+func (g *Grid[T]) Data() []T { return g.data }
+
+// Dtype returns the runtime descriptor of the grid's element type.
+func (g *Grid[T]) Dtype() Dtype { return DtypeFor[T]() }
 
 // Relayout copies the grid's contents into a new grid under the target
 // layout. The target's dimensions must match.
-func (g *Grid) Relayout(target core.Layout) (*Grid, error) {
+func (g *Grid[T]) Relayout(target core.Layout) (*Grid[T], error) {
 	sx, sy, sz := g.Dims()
 	tx, ty, tz := target.Dims()
 	if sx != tx || sy != ty || sz != tz {
 		return nil, fmt.Errorf("grid: relayout dims %dx%dx%d -> %dx%dx%d mismatch",
 			sx, sy, sz, tx, ty, tz)
 	}
-	out := New(target)
+	out := NewOf[T](target)
 	for k := 0; k < sz; k++ {
 		for j := 0; j < sy; j++ {
 			for i := 0; i < sx; i++ {
@@ -101,7 +134,7 @@ func (g *Grid) Relayout(target core.Layout) (*Grid, error) {
 
 // Equal reports whether two grids have identical dimensions and samples
 // (layouts may differ).
-func Equal(a, b *Grid) bool {
+func Equal[T Scalar](a, b *Grid[T]) bool {
 	ax, ay, az := a.Dims()
 	bx, by, bz := b.Dims()
 	if ax != bx || ay != by || az != bz {
@@ -121,7 +154,7 @@ func Equal(a, b *Grid) bool {
 
 // MaxAbsDiff returns the largest absolute per-sample difference between
 // two same-dimensioned grids. It panics on dimension mismatch.
-func MaxAbsDiff(a, b *Grid) float64 {
+func MaxAbsDiff[T Scalar](a, b *Grid[T]) float64 {
 	ax, ay, az := a.Dims()
 	bx, by, bz := b.Dims()
 	if ax != bx || ay != by || az != bz {
@@ -142,9 +175,10 @@ func MaxAbsDiff(a, b *Grid) float64 {
 }
 
 // MinMax returns the smallest and largest sample in the grid.
-func (g *Grid) MinMax() (lo, hi float32) {
+func (g *Grid[T]) MinMax() (lo, hi T) {
 	nx, ny, nz := g.Dims()
-	lo, hi = float32(math.Inf(1)), float32(math.Inf(-1))
+	lo = g.At(0, 0, 0)
+	hi = lo
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
 			for i := 0; i < nx; i++ {
@@ -161,12 +195,16 @@ func (g *Grid) MinMax() (lo, hi float32) {
 	return lo, hi
 }
 
-// SampleTrilinear returns the trilinearly interpolated value at the
-// continuous position (x,y,z) in index coordinates, clamping to the
-// volume boundary. This is the renderer's per-ray sampling primitive;
-// it reads the 8 surrounding voxels through r.At, so it is traced when
-// r is a traced view.
-func SampleTrilinear(r Reader, x, y, z float64) float32 {
+// SampleReader returns the trilinearly interpolated normalized value
+// at the continuous position (x,y,z) in index coordinates, clamping to
+// the volume boundary. Corner samples are widened to the accumulator
+// type A, the lerp runs in A, and the result is scaled by inv (the
+// reciprocal of the dtype's normalization scale; pass 1 for float
+// dtypes). With T = A = float32 and inv == 1 the arithmetic is
+// bit-identical to the pre-generic float32 path. It reads the 8
+// surrounding voxels through r.At, so it is traced when r is a traced
+// view.
+func SampleReader[T Scalar, A Accum](r ReaderOf[T], inv A, x, y, z float64) float32 {
 	nx, ny, nz := r.Dims()
 	x = clamp(x, 0, float64(nx-1))
 	y = clamp(y, 0, float64(ny-1))
@@ -184,18 +222,18 @@ func SampleTrilinear(r Reader, x, y, z float64) float32 {
 	if k1 > nz-1 {
 		k1 = nz - 1
 	}
-	fx := float32(x - float64(i0))
-	fy := float32(y - float64(j0))
-	fz := float32(z - float64(k0))
+	fx := A(x - float64(i0))
+	fy := A(y - float64(j0))
+	fz := A(z - float64(k0))
 
-	c000 := r.At(i0, j0, k0)
-	c100 := r.At(i1, j0, k0)
-	c010 := r.At(i0, j1, k0)
-	c110 := r.At(i1, j1, k0)
-	c001 := r.At(i0, j0, k1)
-	c101 := r.At(i1, j0, k1)
-	c011 := r.At(i0, j1, k1)
-	c111 := r.At(i1, j1, k1)
+	c000 := A(r.At(i0, j0, k0))
+	c100 := A(r.At(i1, j0, k0))
+	c010 := A(r.At(i0, j1, k0))
+	c110 := A(r.At(i1, j1, k0))
+	c001 := A(r.At(i0, j0, k1))
+	c101 := A(r.At(i1, j0, k1))
+	c011 := A(r.At(i0, j1, k1))
+	c111 := A(r.At(i1, j1, k1))
 
 	c00 := c000 + (c100-c000)*fx
 	c10 := c010 + (c110-c010)*fx
@@ -203,20 +241,39 @@ func SampleTrilinear(r Reader, x, y, z float64) float32 {
 	c11 := c011 + (c111-c011)*fx
 	c0 := c00 + (c10-c00)*fy
 	c1 := c01 + (c11-c01)*fy
-	return c0 + (c1-c0)*fz
+	c := c0 + (c1-c0)*fz
+	if inv != 1 {
+		c *= inv
+	}
+	return float32(c)
 }
 
-// Gradient returns the central-difference gradient at (i,j,k), using
-// one-sided differences at the boundary. Used for renderer shading.
-func Gradient(r Reader, i, j, k int) (gx, gy, gz float32) {
+// SampleTrilinear is the float32 instantiation of SampleReader with no
+// normalization — the renderer's pre-generic per-ray sampling
+// primitive, unchanged bit-for-bit.
+func SampleTrilinear(r Reader, x, y, z float64) float32 {
+	return SampleReader[float32, float32](r, 1, x, y, z)
+}
+
+// GradientReader returns the central-difference gradient at (i,j,k)
+// computed in the accumulator type A, using one-sided differences at
+// the boundary. The gradient is deliberately unnormalized: shading
+// normalizes the vector, which cancels any uniform dtype scale.
+func GradientReader[T Scalar, A Accum](r ReaderOf[T], i, j, k int) (gx, gy, gz float32) {
 	nx, ny, nz := r.Dims()
-	sample := func(i, j, k int) float32 {
-		return r.At(clampI(i, 0, nx-1), clampI(j, 0, ny-1), clampI(k, 0, nz-1))
+	sample := func(i, j, k int) A {
+		return A(r.At(clampI(i, 0, nx-1), clampI(j, 0, ny-1), clampI(k, 0, nz-1)))
 	}
-	gx = (sample(i+1, j, k) - sample(i-1, j, k)) * 0.5
-	gy = (sample(i, j+1, k) - sample(i, j-1, k)) * 0.5
-	gz = (sample(i, j, k+1) - sample(i, j, k-1)) * 0.5
+	gx = float32((sample(i+1, j, k) - sample(i-1, j, k)) * 0.5)
+	gy = float32((sample(i, j+1, k) - sample(i, j-1, k)) * 0.5)
+	gz = float32((sample(i, j, k+1) - sample(i, j, k-1)) * 0.5)
 	return gx, gy, gz
+}
+
+// Gradient is the float32 instantiation of GradientReader — used for
+// renderer shading.
+func Gradient(r Reader, i, j, k int) (gx, gy, gz float32) {
+	return GradientReader[float32, float32](r, i, j, k)
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -241,7 +298,7 @@ func clampI(v, lo, hi int) int {
 
 // ForEachIndex calls fn for every element in index order (i fastest,
 // then j, then k) with its value — the traversal application loops use.
-func (g *Grid) ForEachIndex(fn func(i, j, k int, v float32)) {
+func (g *Grid[T]) ForEachIndex(fn func(i, j, k int, v T)) {
 	nx, ny, nz := g.Dims()
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
@@ -257,7 +314,7 @@ func (g *Grid) ForEachIndex(fn func(i, j, k int, v float32)) {
 // space-filling layouts this is the cache-friendly sweep of Bader 2013.
 // It requires the grid's layout to implement core.Inverse (all built-in
 // layouts do) and returns false otherwise.
-func (g *Grid) ForEachStorage(fn func(i, j, k int, v float32)) bool {
+func (g *Grid[T]) ForEachStorage(fn func(i, j, k int, v T)) bool {
 	inv, ok := g.layout.(core.Inverse)
 	if !ok {
 		return false

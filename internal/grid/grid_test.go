@@ -8,7 +8,7 @@ import (
 	"sfcmem/internal/core"
 )
 
-func seqGrid(t *testing.T, kind core.Kind, n int) *Grid {
+func seqGrid(t *testing.T, kind core.Kind, n int) *Grid[float32] {
 	if t != nil {
 		t.Helper()
 	}

@@ -36,7 +36,7 @@ func (r BilatRow) options(threads int) filter.Options {
 // BilatInput holds the phantom in each layout for one experiment, so
 // figure loops do not regenerate datasets per cell.
 type BilatInput struct {
-	Src  map[core.Kind]*grid.Grid
+	Src  map[core.Kind]*grid.Grid[float32]
 	Size int
 	// NoFastPath forces wall-clock runs onto the generic interface path
 	// (set from Config.NoFastPath by the grid runners).
@@ -46,7 +46,7 @@ type BilatInput struct {
 // NewBilatInput generates the MRI phantom once and relayouts it into
 // every built-in layout.
 func NewBilatInput(size int, seed uint64) *BilatInput {
-	in := &BilatInput{Src: make(map[core.Kind]*grid.Grid), Size: size}
+	in := &BilatInput{Src: make(map[core.Kind]*grid.Grid[float32]), Size: size}
 	base := volume.MRIPhantom(core.NewArrayOrder(size, size, size), seed, 0.05)
 	in.Src[core.ArrayKind] = base
 	for _, kind := range core.Kinds()[1:] { // every non-array layout

@@ -64,6 +64,10 @@ type Config struct {
 	NoFastPath bool `json:"no_fastpath,omitempty"`
 	// Radii maps the paper's row labels to stencil radii.
 	Radii []RadiusSpec `json:"radii"`
+	// Dtypes is the element-type sweep axis for the dtype extension
+	// study (Fig 11): names accepted by grid.ParseDtype. Empty means
+	// every supported dtype.
+	Dtypes []string `json:"dtypes,omitempty"`
 }
 
 // RadiusSpec names one stencil size the way the paper's figures do.

@@ -316,8 +316,9 @@ func fig6(cfg Config, progress func(string), ins *Instruments) (FigureResult, er
 }
 
 // Figure dispatches a figure by number: 1-6 reproduce the paper's
-// figures, 7-8 are this repo's extension studies (reuse-distance curves
-// and the padding/auto-tuning ablation).
+// figures, 7-11 are this repo's extension studies (reuse-distance
+// curves, the padding/auto-tuning ablation, per-level counters,
+// slice/LOD query costs, and the element-dtype sweep).
 func Figure(n int, cfg Config, progress func(string)) (FigureResult, error) {
 	return FigureObs(n, cfg, progress, nil)
 }
@@ -327,8 +328,8 @@ func Figure(n int, cfg Config, progress func(string)) (FigureResult, error) {
 // cache counters, and per-worker timeline spans flow into it. A nil ins
 // makes it identical to Figure.
 func FigureObs(n int, cfg Config, progress func(string), ins *Instruments) (FigureResult, error) {
-	if n < 1 || n > 10 {
-		return FigureResult{}, fmt.Errorf("harness: no figure %d (valid: 1-6 paper, 7-10 extensions)", n)
+	if n < 1 || n > 11 {
+		return FigureResult{}, fmt.Errorf("harness: no figure %d (valid: 1-6 paper, 7-11 extensions)", n)
 	}
 	end := ins.StartFigure(fmt.Sprintf("fig%d", n))
 	defer end()
@@ -351,16 +352,18 @@ func FigureObs(n int, cfg Config, progress func(string), ins *Instruments) (Figu
 		return Fig8(cfg, progress)
 	case 9:
 		return Fig9(cfg, progress)
-	default:
+	case 10:
 		return Fig10(cfg, progress)
+	default:
+		return fig11(cfg, progress, ins)
 	}
 }
 
-// All runs every figure — the paper's six plus the two extension
-// studies — and concatenates the rendered text.
+// All runs every figure — the paper's six plus the extension studies —
+// and concatenates the rendered text.
 func All(cfg Config, progress func(string)) (string, error) {
 	var b strings.Builder
-	for n := 1; n <= 10; n++ {
+	for n := 1; n <= 11; n++ {
 		res, err := Figure(n, cfg, progress)
 		if err != nil {
 			return "", err

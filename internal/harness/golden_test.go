@@ -1,0 +1,140 @@
+package harness
+
+// Golden regression tests for the generic-element refactor: the float32
+// kernel outputs must stay bit-identical to the pre-generic code. The
+// hashes below were captured on the last float32-only revision with
+// exactly these configurations; any float32 arithmetic drift in the
+// bilateral filter, Gaussian convolution, or raycaster — on either the
+// flat fast path or the interface path — changes a hash and fails here.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+	"testing"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
+	"sfcmem/internal/render"
+	"sfcmem/internal/volume"
+)
+
+const (
+	goldenBilat  = "67eb27075f0f26cc5ce52e49529b1b9d6e47a2d9577ba0ea3c60faf1165cd526"
+	goldenGauss  = "f77684eb12a5266de5986b5fa1b68852657b7a7574948ee8fe158ebf556b352f"
+	goldenRender = "6ac3b167a35d983b5f4611c73d9c7857ee2142ef91f9a1031f212e0637ac875d"
+)
+
+func hashGrid(h hash.Hash, g *grid.Grid[float32]) {
+	nx, ny, nz := g.Dims()
+	var buf [4]byte
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(g.At(i, j, k)))
+				h.Write(buf[:])
+			}
+		}
+	}
+}
+
+func hashImage(h hash.Hash, img *render.Image) {
+	var buf [4]byte
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			c := img.At(x, y)
+			for _, f := range []float32{c.R, c.G, c.B, c.A} {
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(f))
+				h.Write(buf[:])
+			}
+		}
+	}
+}
+
+func gridDigest(g *grid.Grid[float32]) string {
+	h := sha256.New()
+	hashGrid(h, g)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func TestGoldenFloat32Bilateral(t *testing.T) {
+	const nx, ny, nz = 40, 36, 28
+	base := volume.MRIPhantom(core.NewArrayOrder(nx, ny, nz), 7, 0.05)
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.TiledKind, core.HilbertKind} {
+		src, err := base.Relayout(core.New(kind, nx, ny, nz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			label string
+			axis  parallel.Axis
+			order filter.Order
+		}{
+			{"px-xyz", parallel.AxisX, filter.XYZ},
+			{"pz-zyx", parallel.AxisZ, filter.ZYX},
+		} {
+			for _, noFast := range []bool{false, true} {
+				dst := grid.New(core.New(kind, nx, ny, nz))
+				err := filter.Apply(src, dst, filter.Options{
+					Radius: 2, Axis: cfg.axis, Order: cfg.order, Workers: 3, NoFastPath: noFast,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := gridDigest(dst); got != goldenBilat {
+					t.Errorf("bilat %v %s nofast=%v: hash %s, want %s (float32 output drifted from pre-generic kernel)",
+						kind, cfg.label, noFast, got, goldenBilat)
+				}
+			}
+		}
+	}
+}
+
+func TestGoldenFloat32Gaussian(t *testing.T) {
+	const nx, ny, nz = 40, 36, 28
+	base := volume.MRIPhantom(core.NewArrayOrder(nx, ny, nz), 7, 0.05)
+	for _, kind := range []core.Kind{core.ArrayKind, core.HilbertKind} {
+		src, err := base.Relayout(core.New(kind, nx, ny, nz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, noFast := range []bool{false, true} {
+			dst := grid.New(core.New(kind, nx, ny, nz))
+			if err := filter.GaussianConvolve(src, dst, filter.Options{
+				Radius: 2, Axis: parallel.AxisX, Workers: 3, NoFastPath: noFast,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got := gridDigest(dst); got != goldenGauss {
+				t.Errorf("gauss %v nofast=%v: hash %s, want %s", kind, noFast, got, goldenGauss)
+			}
+		}
+	}
+}
+
+func TestGoldenFloat32Render(t *testing.T) {
+	const vn = 32
+	for _, kind := range []core.Kind{core.ZKind, core.HilbertKind} {
+		vol := volume.CombustionPlume(core.New(kind, vn, vn, vn), 3)
+		cam := render.Orbit(1, 8, vn, vn, vn, 64, 64)
+		for _, skip := range []bool{false, true} {
+			for _, noFast := range []bool{false, true} {
+				img, err := render.Render(vol, cam, render.DefaultTransferFunc(), render.Options{
+					Workers: 2, Shade: true, EmptySkip: skip, NoFastPath: noFast,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := sha256.New()
+				hashImage(h, img)
+				if got := fmt.Sprintf("%x", h.Sum(nil)); got != goldenRender {
+					t.Errorf("render %v skip=%v nofast=%v: hash %s, want %s", kind, skip, noFast, got, goldenRender)
+				}
+			}
+		}
+	}
+}

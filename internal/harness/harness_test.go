@@ -145,7 +145,7 @@ func TestSimVolrendDeterministicAndViewDependent(t *testing.T) {
 
 func TestFiguresSmoke(t *testing.T) {
 	cfg := microConfig()
-	for n := 1; n <= 10; n++ {
+	for n := 1; n <= 11; n++ {
 		res, err := Figure(n, cfg, nil)
 		if err != nil {
 			t.Fatalf("fig %d: %v", n, err)
@@ -157,8 +157,8 @@ func TestFiguresSmoke(t *testing.T) {
 			t.Errorf("fig %d: missing title:\n%s", n, res.Text)
 		}
 	}
-	if _, err := Figure(11, cfg, nil); err == nil {
-		t.Error("figure 11 accepted")
+	if _, err := Figure(12, cfg, nil); err == nil {
+		t.Error("figure 12 accepted")
 	}
 	if _, err := Figure(0, cfg, nil); err == nil {
 		t.Error("figure 0 accepted")

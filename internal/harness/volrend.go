@@ -15,7 +15,7 @@ import (
 
 // VolInput holds the combustion plume in each layout for one experiment.
 type VolInput struct {
-	Vol  map[core.Kind]*grid.Grid
+	Vol  map[core.Kind]*grid.Grid[float32]
 	Size int
 	// NoFastPath forces wall-clock runs onto the generic interface path
 	// (set from Config.NoFastPath by the grid runners).
@@ -25,7 +25,7 @@ type VolInput struct {
 // NewVolInput generates the plume once and relayouts it into every
 // built-in layout.
 func NewVolInput(size int, seed uint64) *VolInput {
-	in := &VolInput{Vol: make(map[core.Kind]*grid.Grid), Size: size}
+	in := &VolInput{Vol: make(map[core.Kind]*grid.Grid[float32]), Size: size}
 	base := volume.CombustionPlume(core.NewArrayOrder(size, size, size), seed)
 	in.Vol[core.ArrayKind] = base
 	for _, kind := range core.Kinds()[1:] { // every non-array layout

@@ -23,7 +23,7 @@ import (
 // Subsample extracts level-of-detail L: every 2^L-th sample per axis
 // (the lattice points i,j,k ≡ 0 mod 2^L), into a new grid under the
 // target layout with extents ceil(n / 2^L). Level 0 copies the volume.
-func Subsample(src *grid.Grid, level int, target func(nx, ny, nz int) core.Layout) (*grid.Grid, error) {
+func Subsample(src *grid.Grid[float32], level int, target func(nx, ny, nz int) core.Layout) (*grid.Grid[float32], error) {
 	if level < 0 {
 		return nil, fmt.Errorf("multires: level %d must be >= 0", level)
 	}
@@ -70,7 +70,7 @@ func (a SliceAxis) String() string {
 // Slice extracts the axis-aligned plane at the fixed coordinate, with
 // every 2^level-th sample per in-plane axis, as a dense row-major
 // float32 image (width × height in the returned dims).
-func Slice(src *grid.Grid, axis SliceAxis, at, level int) (pix []float32, w, h int, err error) {
+func Slice(src *grid.Grid[float32], axis SliceAxis, at, level int) (pix []float32, w, h int, err error) {
 	if level < 0 {
 		return nil, 0, 0, fmt.Errorf("multires: level %d must be >= 0", level)
 	}

@@ -8,7 +8,7 @@ import (
 	"sfcmem/internal/volume"
 )
 
-func coordGrid(kind core.Kind, n int) *grid.Grid {
+func coordGrid(kind core.Kind, n int) *grid.Grid[float32] {
 	return grid.FromFunc(core.New(kind, n, n, n), func(i, j, k int) float32 {
 		return float32(i + j*1000 + k*1000000)
 	})

@@ -2,6 +2,7 @@ package render
 
 import (
 	"fmt"
+	"math"
 
 	"sfcmem/internal/grid"
 )
@@ -20,22 +21,30 @@ type Accel struct {
 	minv, maxv []float32
 }
 
-// BuildAccel scans the volume once and returns the macrocell structure.
-// edge must be positive (8 is a good default).
+// BuildAccel scans a float32 volume once and returns the macrocell
+// structure. edge must be positive (8 is a good default).
 func BuildAccel(vol grid.Reader, edge int) *Accel {
+	return BuildAccelOf[float32](vol, edge)
+}
+
+// BuildAccelOf is BuildAccel for any element type. Samples normalize
+// into [0,1] (dividing by the dtype's scale) during the scan, which
+// runs in float64; the per-cell min is stored rounded toward -Inf and
+// the max toward +Inf, so the float32 cell ranges always bracket the
+// true normalized range and skipping stays conservative. For float32
+// volumes every scanned value is exactly representable, no rounding
+// fires, and the structure is bit-identical to the pre-generic build.
+func BuildAccelOf[T grid.Scalar](vol grid.ReaderOf[T], edge int) *Accel {
 	if edge < 1 {
 		panic(fmt.Sprintf("render: macrocell edge %d must be positive", edge))
 	}
+	inv := 1 / grid.NormScale[T]()
 	nx, ny, nz := vol.Dims()
 	ceil := func(n int) int { return (n + edge - 1) / edge }
 	a := &Accel{bx: ceil(nx), by: ceil(ny), bz: ceil(nz), edge: edge}
 	n := a.bx * a.by * a.bz
 	a.minv = make([]float32, n)
 	a.maxv = make([]float32, n)
-	for c := range a.minv {
-		a.minv[c] = float32(1<<127 - 1)
-		a.maxv[c] = float32(-(1<<127 - 1))
-	}
 	clamp := func(v, lo, hi int) int {
 		if v < lo {
 			return lo
@@ -56,11 +65,11 @@ func BuildAccel(vol grid.Reader, edge int) *Accel {
 				y1 := clamp((cy+1)*edge, 0, ny-1)
 				z0 := clamp(cz*edge-1, 0, nz-1)
 				z1 := clamp((cz+1)*edge, 0, nz-1)
-				lo, hi := a.minv[idx], a.maxv[idx]
+				lo, hi := math.Inf(1), math.Inf(-1)
 				for z := z0; z <= z1; z++ {
 					for y := y0; y <= y1; y++ {
 						for x := x0; x <= x1; x++ {
-							v := vol.At(x, y, z)
+							v := float64(vol.At(x, y, z)) * inv
 							if v < lo {
 								lo = v
 							}
@@ -70,11 +79,33 @@ func BuildAccel(vol grid.Reader, edge int) *Accel {
 						}
 					}
 				}
-				a.minv[idx], a.maxv[idx] = lo, hi
+				a.minv[idx], a.maxv[idx] = conservDown(lo), conservUp(hi)
 			}
 		}
 	}
 	return a
+}
+
+// conservDown converts x to float32 rounding toward -Inf when the
+// conversion is inexact, so a stored cell minimum never exceeds the
+// true minimum.
+func conservDown(x float64) float32 {
+	f := float32(x)
+	if float64(f) > x {
+		f = math.Nextafter32(f, float32(math.Inf(-1)))
+	}
+	return f
+}
+
+// conservUp converts x to float32 rounding toward +Inf when the
+// conversion is inexact, so a stored cell maximum never undercuts the
+// true maximum (skipping a cell stays sound for every dtype).
+func conservUp(x float64) float32 {
+	f := float32(x)
+	if float64(f) < x {
+		f = math.Nextafter32(f, float32(math.Inf(1)))
+	}
+	return f
 }
 
 // CellRange returns the (min, max) of macrocell (cx, cy, cz).

@@ -16,7 +16,7 @@ import (
 
 // denseVolume is an everywhere-opaque volume, so renders do real work on
 // every tile.
-func denseVolume(n int) *grid.Grid {
+func denseVolume(n int) *grid.Grid[float32] {
 	return grid.FromFunc(core.NewZOrder(n, n, n), func(i, j, k int) float32 {
 		return 0.5 + 0.4*float32((i+j+k)%2)
 	})

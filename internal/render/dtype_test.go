@@ -1,0 +1,136 @@
+package render
+
+import (
+	"testing"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/volume"
+)
+
+func imagesEqual(a, b *Image) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for y := 0; y < a.H; y++ {
+		for x := 0; x < a.W; x++ {
+			if a.At(x, y) != b.At(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkRenderDtype renders one dtype instantiation four ways — flat vs
+// interface path, empty-skip on vs off — and demands identical frames:
+// the fast path must be bit-identical and the conservative accel must
+// never skip a contributing cell, for every element width.
+func checkRenderDtype[T grid.Scalar](t *testing.T, kind core.Kind) {
+	t.Helper()
+	const n = 24
+	vol := volume.CombustionPlumeOf[T](core.New(kind, n, n, n), 9)
+	cam := Orbit(1, 8, n, n, n, 48, 48)
+	tf := DefaultTransferFunc()
+	base, err := RenderOf[T](vol, cam, tf, Options{Workers: 2, Shade: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Options{
+		{Workers: 2, Shade: true, NoFastPath: true},
+		{Workers: 2, Shade: true, EmptySkip: true},
+		{Workers: 2, Shade: true, EmptySkip: true, NoFastPath: true},
+	}
+	for _, o := range variants {
+		img, err := RenderOf[T](vol, cam, tf, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !imagesEqual(base, img) {
+			t.Errorf("%v/%v: frame differs (nofast=%v skip=%v)",
+				grid.DtypeFor[T](), kind, o.NoFastPath, o.EmptySkip)
+		}
+	}
+	// The frame must not be trivially empty.
+	var sum float32
+	for y := 0; y < base.H; y++ {
+		for x := 0; x < base.W; x++ {
+			sum += base.At(x, y).A
+		}
+	}
+	if sum == 0 {
+		t.Fatalf("%v/%v: rendered frame is empty", grid.DtypeFor[T](), kind)
+	}
+}
+
+func TestRenderDtypesFlatVsInterfaceVsSkip(t *testing.T) {
+	for _, kind := range []core.Kind{core.ZKind, core.HilbertKind} {
+		checkRenderDtype[uint8](t, kind)
+		checkRenderDtype[uint16](t, kind)
+		checkRenderDtype[float32](t, kind)
+		checkRenderDtype[float64](t, kind)
+	}
+}
+
+func TestRenderDtypeTracksFloat32(t *testing.T) {
+	// A uint16 volume quantizes the same plume to 65535 codes; the
+	// rendered frame should be visually indistinguishable from the
+	// float32 frame (small per-channel deviation), confirming the
+	// normalization keeps the transfer function domain aligned.
+	const n = 20
+	l := core.NewZOrder(n, n, n)
+	cam := Orbit(1, 8, n, n, n, 40, 40)
+	tf := DefaultTransferFunc()
+	f32, err := Render(volume.CombustionPlume(l, 4), cam, tf, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u16, err := RenderOf[uint16](volume.CombustionPlumeOf[uint16](l, 4), cam, tf, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for y := 0; y < f32.H; y++ {
+		for x := 0; x < f32.W; x++ {
+			a, b := f32.At(x, y), u16.At(x, y)
+			for _, d := range []float32{a.R - b.R, a.G - b.G, a.B - b.B, a.A - b.A} {
+				if fd := float64(d); fd > worst {
+					worst = fd
+				} else if -fd > worst {
+					worst = -fd
+				}
+			}
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("uint16 frame deviates from float32 by %v per channel", worst)
+	}
+}
+
+func TestBuildAccelConservativePerDtype(t *testing.T) {
+	// For integer dtypes the normalized cell max is rounded toward +Inf
+	// into float32, so a cell is only skipped when it truly cannot
+	// contribute. Check the bracket property against a float64 rescan.
+	l := core.NewArrayOrder(16, 16, 16)
+	vol := volume.CombustionPlumeOf[uint8](l, 7)
+	a := BuildAccelOf[uint8](vol, 4)
+	lo, hi := a.CellRange(0, 0, 0)
+	var trueLo, trueHi float64
+	trueLo = 2
+	for z := 0; z <= 4; z++ { // cell (0,0,0) plus apron
+		for y := 0; y <= 4; y++ {
+			for x := 0; x <= 4; x++ {
+				v := float64(vol.At(x, y, z)) / 255
+				if v < trueLo {
+					trueLo = v
+				}
+				if v > trueHi {
+					trueHi = v
+				}
+			}
+		}
+	}
+	if float64(lo) > trueLo || float64(hi) < trueHi {
+		t.Errorf("cell range [%v,%v] does not bracket true range [%v,%v]", lo, hi, trueLo, trueHi)
+	}
+}

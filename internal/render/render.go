@@ -111,20 +111,30 @@ func Render(vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, e
 	return RenderCtx(context.Background(), vol, cam, tf, o)
 }
 
+// RenderOf is Render for any element type.
+func RenderOf[T grid.Scalar](vol grid.ReaderOf[T], cam Camera, tf *TransferFunc, o Options) (*Image, error) {
+	return RenderCtxOf(context.Background(), vol, cam, tf, o)
+}
+
 // RenderCtx is Render with cooperative cancellation: workers stop taking
 // image tiles once ctx is done and the call returns (nil, ctx's error),
 // discarding the partial frame. A context that can never be cancelled
 // takes exactly the non-context code path.
 func RenderCtx(ctx context.Context, vol grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
+	return RenderCtxOf[float32](ctx, vol, cam, tf, o)
+}
+
+// RenderCtxOf is RenderCtx for any element type.
+func RenderCtxOf[T grid.Scalar](ctx context.Context, vol grid.ReaderOf[T], cam Camera, tf *TransferFunc, o Options) (*Image, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
 	o = o.withDefaults()
-	views := make([]grid.Reader, o.Workers)
+	views := make([]grid.ReaderOf[T], o.Workers)
 	for w := range views {
 		views[w] = vol
 	}
-	return RenderViewsCtx(ctx, views, cam, tf, o)
+	return RenderViewsCtxOf(ctx, views, cam, tf, o)
 }
 
 // RenderViews raycasts with per-worker volume views: worker w samples
@@ -132,13 +142,34 @@ func RenderCtx(ctx context.Context, vol grid.Reader, cam Camera, tf *TransferFun
 // pass one traced view per simulated thread. len(views) must equal
 // Workers (after defaulting); all views must agree on dimensions.
 func RenderViews(views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
-	return RenderViewsCtx(context.Background(), views, cam, tf, o)
+	return RenderViewsCtxOf[float32](context.Background(), views, cam, tf, o)
+}
+
+// RenderViewsOf is RenderViews for any element type.
+func RenderViewsOf[T grid.Scalar](views []grid.ReaderOf[T], cam Camera, tf *TransferFunc, o Options) (*Image, error) {
+	return RenderViewsCtxOf(context.Background(), views, cam, tf, o)
 }
 
 // RenderViewsCtx is RenderViews with cooperative cancellation; see
 // RenderCtx. Tiles are the cancellation granule: a tile that has started
 // runs to completion, and no new tiles are handed out after ctx is done.
 func RenderViewsCtx(ctx context.Context, views []grid.Reader, cam Camera, tf *TransferFunc, o Options) (*Image, error) {
+	return RenderViewsCtxOf[float32](ctx, views, cam, tf, o)
+}
+
+// RenderViewsCtxOf is RenderViewsCtx for any element type. Samples
+// normalize into [0,1] before the transfer function; the ray
+// accumulator is float64 for float64 volumes and float32 otherwise, so
+// the float32 instantiation reproduces the pre-generic frames bit for
+// bit.
+func RenderViewsCtxOf[T grid.Scalar](ctx context.Context, views []grid.ReaderOf[T], cam Camera, tf *TransferFunc, o Options) (*Image, error) {
+	if grid.DtypeFor[T]() == grid.F64 {
+		return renderViewsCtxOf[T, float64](ctx, views, cam, tf, o)
+	}
+	return renderViewsCtxOf[T, float32](ctx, views, cam, tf, o)
+}
+
+func renderViewsCtxOf[T grid.Scalar, A grid.Accum](ctx context.Context, views []grid.ReaderOf[T], cam Camera, tf *TransferFunc, o Options) (*Image, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -165,18 +196,22 @@ func RenderViewsCtx(ctx context.Context, views []grid.Reader, cam Camera, tf *Tr
 	var accel *Accel
 	var skipBelow float32
 	if o.EmptySkip {
-		accel = BuildAccel(views[0], o.AccelEdge)
+		accel = BuildAccelOf(views[0], o.AccelEdge)
 		skipBelow = tf.MinOpaqueValue()
 	}
 	img := NewImage(cam.Width, cam.Height)
 	tiles := parallel.Tiles(cam.Width, cam.Height, o.TileSize)
 	lo := Vec3{0, 0, 0}
 	hi := Vec3{float64(nx - 1), float64(ny - 1), float64(nz - 1)}
+	// The dtype's normalization reciprocal in the accumulator type:
+	// exactly 1 for float dtypes, which the sampling primitives detect
+	// to skip the multiply (preserving pre-generic bit patterns).
+	inv := A(1 / grid.NormScale[T]())
 	// Resolve each worker's view to the flat fast path once, at setup:
 	// a plain *grid.Grid under a separable layout flattens to its raw
 	// buffer plus per-axis offset tables; traced views and non-separable
 	// layouts (Hilbert, HZ) resolve to nil and keep the interface path.
-	flats := make([]*grid.Flat, o.Workers)
+	flats := make([]*grid.Flat[T], o.Workers)
 	if !o.NoFastPath {
 		for w := range flats {
 			flats[w] = grid.Flatten(views[w])
@@ -187,7 +222,7 @@ func RenderViewsCtx(ctx context.Context, views []grid.Reader, cam Camera, tf *Tr
 		t := tiles[ti]
 		for py := t.Y0; py < t.Y1; py++ {
 			for px := t.X0; px < t.X1; px++ {
-				img.Set(px, py, castRay(vol, flat, cam, tf, o, px, py, lo, hi, accel, skipBelow))
+				img.Set(px, py, castRay(vol, flat, inv, cam, tf, o, px, py, lo, hi, accel, skipBelow))
 			}
 		}
 	}
@@ -220,8 +255,11 @@ func RenderViewsCtx(ctx context.Context, views []grid.Reader, cam Camera, tf *Tr
 // termination. When flat is non-nil the trilinear samples and shading
 // gradients come from the devirtualized flat view (bit-identical
 // arithmetic to the interface path); otherwise every access goes
-// through vol.
-func castRay(vol grid.Reader, flat *grid.Flat, cam Camera, tf *TransferFunc, o Options, px, py int, lo, hi Vec3, accel *Accel, skipBelow float32) RGBA {
+// through vol. Samples lerp in the accumulator type A and normalize by
+// inv before the transfer function; gradients stay unnormalized (the
+// shading normal is unit-scaled anyway, so a uniform dtype scale
+// cancels).
+func castRay[T grid.Scalar, A grid.Accum](vol grid.ReaderOf[T], flat *grid.Flat[T], inv A, cam Camera, tf *TransferFunc, o Options, px, py int, lo, hi Vec3, accel *Accel, skipBelow float32) RGBA {
 	origin, dir := cam.Ray(px, py)
 	tmin, tmax, hit := intersectBox(origin, dir, lo, hi)
 	if !hit {
@@ -247,9 +285,9 @@ func castRay(vol grid.Reader, flat *grid.Flat, cam Camera, tf *TransferFunc, o O
 		}
 		var s float32
 		if flat != nil {
-			s = flat.SampleTrilinear(p.X, p.Y, p.Z)
+			s = grid.SampleFlat(flat, inv, p.X, p.Y, p.Z)
 		} else {
-			s = grid.SampleTrilinear(vol, p.X, p.Y, p.Z)
+			s = grid.SampleReader(vol, inv, p.X, p.Y, p.Z)
 		}
 		c := tf.Eval(s)
 		if c.A <= 0 {
@@ -263,9 +301,9 @@ func castRay(vol grid.Reader, flat *grid.Flat, cam Camera, tf *TransferFunc, o O
 			// Gradient clamps indices internally; p is inside the box.
 			var gx, gy, gz float32
 			if flat != nil {
-				gx, gy, gz = flat.Gradient(int(p.X), int(p.Y), int(p.Z))
+				gx, gy, gz = grid.GradientFlat[T, A](flat, int(p.X), int(p.Y), int(p.Z))
 			} else {
-				gx, gy, gz = grid.Gradient(vol, int(p.X), int(p.Y), int(p.Z))
+				gx, gy, gz = grid.GradientReader[T, A](vol, int(p.X), int(p.Y), int(p.Z))
 			}
 			n := Vec3{float64(gx), float64(gy), float64(gz)}.Normalize()
 			light := Vec3{0.5, 1, 0.3}.Normalize()

@@ -455,7 +455,7 @@ func TestOrthographicSampleCountLayoutInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	count := func(g *grid.Grid) uint64 {
+	count := func(g *grid.Grid[float32]) uint64 {
 		var sink grid.CountingSink
 		cam := Orbit(2, 8, n, n, n, 24, 24)
 		cam.Ortho = true

@@ -13,10 +13,19 @@ import (
 // UC Davis MRI dataset in the bilateral-filter experiments: sharp
 // anatomical edges for the photometric (range) term to preserve, noise
 // for the filter to remove. Values are in [0,1]. Deterministic in seed.
-func MRIPhantom(l core.Layout, seed uint64, noiseSigma float64) *grid.Grid {
+func MRIPhantom(l core.Layout, seed uint64, noiseSigma float64) *grid.Grid[float32] {
+	return MRIPhantomOf[float32](l, seed, noiseSigma)
+}
+
+// MRIPhantomOf is MRIPhantom quantized to any element type: the field
+// is computed in float32 exactly as the float32 generator (same RNG
+// consumption, so every dtype sees the same underlying phantom) and
+// each sample is quantized to T on store. The float32 instantiation is
+// bit-identical to MRIPhantom.
+func MRIPhantomOf[T grid.Scalar](l core.Layout, seed uint64, noiseSigma float64) *grid.Grid[T] {
 	nx, ny, nz := l.Dims()
 	rng := NewRNG(seed)
-	g := grid.New(l)
+	g := grid.NewOf[T](l)
 	cx, cy, cz := float64(nx)/2, float64(ny)/2, float64(nz)/2
 	// Shell radii as fractions of the half-extent, outermost first.
 	shells := []struct {
@@ -52,7 +61,7 @@ func MRIPhantom(l core.Layout, seed uint64, noiseSigma float64) *grid.Grid {
 				if v > 1 {
 					v = 1
 				}
-				g.Set(i, j, k, v)
+				g.Set(i, j, k, grid.QuantizeUnit[T](v))
 			}
 		}
 	}
@@ -66,9 +75,15 @@ func MRIPhantom(l core.Layout, seed uint64, noiseSigma float64) *grid.Grid {
 // regimes the renderer cares about — large nearly-empty regions and a
 // dense structured core — so transfer-function compositing and ray
 // traversal behave realistically. Values are in [0,1].
-func CombustionPlume(l core.Layout, seed uint64) *grid.Grid {
+func CombustionPlume(l core.Layout, seed uint64) *grid.Grid[float32] {
+	return CombustionPlumeOf[float32](l, seed)
+}
+
+// CombustionPlumeOf is CombustionPlume quantized to any element type;
+// see MRIPhantomOf for the quantization contract.
+func CombustionPlumeOf[T grid.Scalar](l core.Layout, seed uint64) *grid.Grid[T] {
 	nx, ny, nz := l.Dims()
-	g := grid.New(l)
+	g := grid.NewOf[T](l)
 	cx, cz := float64(nx)/2, float64(nz)/2
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
@@ -89,7 +104,7 @@ func CombustionPlume(l core.Layout, seed uint64) *grid.Grid {
 				if v > 1 {
 					v = 1
 				}
-				g.Set(i, j, k, float32(v))
+				g.Set(i, j, k, grid.QuantizeUnit[T](float32(v)))
 			}
 		}
 	}
@@ -98,12 +113,12 @@ func CombustionPlume(l core.Layout, seed uint64) *grid.Grid {
 
 // Constant fills a grid with a single value; the simplest regression
 // input (a bilateral filter must leave it unchanged).
-func Constant(l core.Layout, v float32) *grid.Grid {
+func Constant(l core.Layout, v float32) *grid.Grid[float32] {
 	return grid.FromFunc(l, func(_, _, _ int) float32 { return v })
 }
 
 // RampX fills a grid with a linear ramp along x, normalized to [0,1].
-func RampX(l core.Layout) *grid.Grid {
+func RampX(l core.Layout) *grid.Grid[float32] {
 	nx, _, _ := l.Dims()
 	den := float32(nx - 1)
 	if den == 0 {
@@ -115,7 +130,7 @@ func RampX(l core.Layout) *grid.Grid {
 // SolidSphere fills a grid with 1 inside a centered sphere of the given
 // fractional radius and 0 outside: a hard edge for edge-preservation
 // tests.
-func SolidSphere(l core.Layout, frac float64) *grid.Grid {
+func SolidSphere(l core.Layout, frac float64) *grid.Grid[float32] {
 	nx, ny, nz := l.Dims()
 	cx, cy, cz := float64(nx)/2, float64(ny)/2, float64(nz)/2
 	r := frac * math.Min(cx, math.Min(cy, cz))
@@ -130,7 +145,7 @@ func SolidSphere(l core.Layout, frac float64) *grid.Grid {
 
 // WhiteNoise fills a grid with uniform noise in [0,1); deterministic in
 // seed.
-func WhiteNoise(l core.Layout, seed uint64) *grid.Grid {
+func WhiteNoise(l core.Layout, seed uint64) *grid.Grid[float32] {
 	rng := NewRNG(seed)
 	return grid.FromFunc(l, func(_, _, _ int) float32 { return rng.Float32() })
 }
@@ -144,7 +159,7 @@ type Stats struct {
 }
 
 // Describe computes summary statistics over every sample of g.
-func Describe(g *grid.Grid) Stats {
+func Describe[T grid.Scalar](g *grid.Grid[T]) Stats {
 	nx, ny, nz := g.Dims()
 	s := Stats{Min: float32(math.Inf(1)), Max: float32(math.Inf(-1))}
 	const eps = 1e-6
@@ -152,7 +167,7 @@ func Describe(g *grid.Grid) Stats {
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
 			for i := 0; i < nx; i++ {
-				v := g.At(i, j, k)
+				v := float32(g.At(i, j, k))
 				if v < s.Min {
 					s.Min = v
 				}

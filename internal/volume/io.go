@@ -14,23 +14,45 @@ import (
 
 // Raw volume I/O: the interchange format of the paper's datasets (and
 // most scientific-visualization corpora) is a headerless stream of
-// little-endian 4-byte floats in row-major order. SaveRaw/LoadRaw read
-// and write that format regardless of the in-memory layout, so users can
-// drop in a real MRI or simulation volume in place of the synthetic
-// stand-ins.
+// little-endian samples in row-major order. The element type is part
+// of the filename convention, not the stream, so the caller picks the
+// dtype: SaveRawOf/LoadRawOf move any grid.Scalar element width, and
+// the plain SaveRaw/LoadRaw keep the original float32 signatures.
+// Loads are strict about size: a short stream and a long stream are
+// both rejected with the expected and actual byte counts, because a
+// silent mismatch usually means wrong extents or wrong dtype.
 
-// SaveRaw writes g as little-endian float32 in row-major (x fastest)
-// order, whatever g's in-memory layout is.
-func SaveRaw(w io.Writer, g *grid.Grid) error {
+// rawBytes returns the exact byte size of an nx×ny×nz raw stream of
+// the given dtype.
+func rawBytes(nx, ny, nz, elemSize int) int64 {
+	return int64(nx) * int64(ny) * int64(nz) * int64(elemSize)
+}
+
+// SaveRawOf writes g as little-endian samples of g's element type in
+// row-major (x fastest) order, whatever g's in-memory layout is.
+func SaveRawOf[T grid.Scalar](w io.Writer, g *grid.Grid[T]) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	nx, ny, nz := g.Dims()
-	var buf [4]byte
+	dt := grid.DtypeFor[T]()
+	es := dt.Size()
+	var buf [8]byte
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
 			for i := 0; i < nx; i++ {
-				bits := floatBits(g.At(i, j, k))
-				binary.LittleEndian.PutUint32(buf[:], bits)
-				if _, err := bw.Write(buf[:]); err != nil {
+				v := g.At(i, j, k)
+				// dt is fixed by T, so exactly one arm ever runs and its
+				// conversion is the identity-width one.
+				switch dt {
+				case grid.U8:
+					buf[0] = uint8(v)
+				case grid.U16:
+					binary.LittleEndian.PutUint16(buf[:2], uint16(v))
+				case grid.F32:
+					binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(float32(v)))
+				default:
+					binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(float64(v)))
+				}
+				if _, err := bw.Write(buf[:es]); err != nil {
 					return fmt.Errorf("volume: writing raw: %w", err)
 				}
 			}
@@ -39,52 +61,91 @@ func SaveRaw(w io.Writer, g *grid.Grid) error {
 	return bw.Flush()
 }
 
-// LoadRaw reads an nx×ny×nz little-endian float32 row-major volume into
-// a grid under the given layout. It fails if the stream ends early and
-// reports an error if trailing bytes remain (size mismatch).
-func LoadRaw(r io.Reader, l core.Layout) (*grid.Grid, error) {
+// SaveRaw writes g as little-endian float32 in row-major (x fastest)
+// order, whatever g's in-memory layout is.
+func SaveRaw(w io.Writer, g *grid.Grid[float32]) error { return SaveRawOf(w, g) }
+
+// LoadRawOf reads an nx×ny×nz little-endian row-major volume of T
+// samples into a grid under the given layout. Both truncated and
+// oversized streams are rejected, with the error naming the expected
+// and actual byte counts.
+func LoadRawOf[T grid.Scalar](r io.Reader, l core.Layout) (*grid.Grid[T], error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	g := grid.New(l)
+	g := grid.NewOf[T](l)
 	nx, ny, nz := l.Dims()
-	var buf [4]byte
+	dt := grid.DtypeFor[T]()
+	es := dt.Size()
+	want := rawBytes(nx, ny, nz, es)
+	var got int64
+	var buf [8]byte
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
 			for i := 0; i < nx; i++ {
-				if _, err := io.ReadFull(br, buf[:]); err != nil {
-					return nil, fmt.Errorf("volume: raw stream truncated at (%d,%d,%d): %w", i, j, k, err)
+				n, err := io.ReadFull(br, buf[:es])
+				got += int64(n)
+				if err != nil {
+					return nil, fmt.Errorf("volume: raw %s stream truncated at (%d,%d,%d): got %d bytes, want %d (%dx%dx%d × %d-byte samples): %w",
+						dt, i, j, k, got, want, nx, ny, nz, es, err)
 				}
-				g.Set(i, j, k, floatFromBits(binary.LittleEndian.Uint32(buf[:])))
+				var v T
+				switch dt {
+				case grid.U8:
+					v = T(buf[0])
+				case grid.U16:
+					v = T(binary.LittleEndian.Uint16(buf[:2]))
+				case grid.F32:
+					v = T(math.Float32frombits(binary.LittleEndian.Uint32(buf[:4])))
+				default:
+					v = T(math.Float64frombits(binary.LittleEndian.Uint64(buf[:8])))
+				}
+				g.Set(i, j, k, v)
 			}
 		}
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("volume: raw stream has trailing bytes (extents mismatch?)")
+	extra, err := io.Copy(io.Discard, br)
+	if err != nil {
+		return nil, fmt.Errorf("volume: reading raw: %w", err)
+	}
+	if extra > 0 {
+		return nil, fmt.Errorf("volume: raw %s stream oversized: got %d bytes, want %d (%dx%dx%d × %d-byte samples; extents or dtype mismatch?)",
+			dt, want+extra, want, nx, ny, nz, es)
 	}
 	return g, nil
 }
 
-// SaveRawFile writes g to a file via SaveRaw.
-func SaveRawFile(path string, g *grid.Grid) error {
+// LoadRaw reads an nx×ny×nz little-endian float32 row-major volume into
+// a grid under the given layout.
+func LoadRaw(r io.Reader, l core.Layout) (*grid.Grid[float32], error) {
+	return LoadRawOf[float32](r, l)
+}
+
+// SaveRawFileOf writes g to a file via SaveRawOf.
+func SaveRawFileOf[T grid.Scalar](path string, g *grid.Grid[T]) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := SaveRaw(f, g); err != nil {
+	if err := SaveRawOf(f, g); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// LoadRawFile reads a raw volume file via LoadRaw.
-func LoadRawFile(path string, l core.Layout) (*grid.Grid, error) {
+// SaveRawFile writes g to a file via SaveRaw.
+func SaveRawFile(path string, g *grid.Grid[float32]) error { return SaveRawFileOf(path, g) }
+
+// LoadRawFileOf reads a raw volume file via LoadRawOf.
+func LoadRawFileOf[T grid.Scalar](path string, l core.Layout) (*grid.Grid[T], error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadRaw(f, l)
+	return LoadRawOf[T](f, l)
 }
 
-func floatBits(f float32) uint32     { return math.Float32bits(f) }
-func floatFromBits(b uint32) float32 { return math.Float32frombits(b) }
+// LoadRawFile reads a raw volume file via LoadRaw.
+func LoadRawFile(path string, l core.Layout) (*grid.Grid[float32], error) {
+	return LoadRawFileOf[float32](path, l)
+}

@@ -1,0 +1,90 @@
+package volume
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/grid"
+)
+
+func roundTripDtype[T grid.Scalar](t *testing.T, kind core.Kind) {
+	t.Helper()
+	const nx, ny, nz = 7, 5, 4
+	l := core.New(kind, nx, ny, nz)
+	src := MRIPhantomOf[T](l, 21, 0.05)
+	var buf bytes.Buffer
+	if err := SaveRawOf(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := nx * ny * nz * grid.DtypeFor[T]().Size()
+	if buf.Len() != wantLen {
+		t.Fatalf("%v/%v: raw stream %d bytes, want %d", grid.DtypeFor[T](), kind, buf.Len(), wantLen)
+	}
+	// Load back under a different layout: raw order is layout-independent.
+	back, err := LoadRawOf[T](bytes.NewReader(buf.Bytes()), core.NewArrayOrder(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if src.At(i, j, k) != back.At(i, j, k) {
+					t.Fatalf("%v/%v: sample (%d,%d,%d) did not round-trip", grid.DtypeFor[T](), kind, i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRawRoundTripAllDtypesAndLayouts(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		roundTripDtype[uint8](t, kind)
+		roundTripDtype[uint16](t, kind)
+		roundTripDtype[float32](t, kind)
+		roundTripDtype[float64](t, kind)
+	}
+}
+
+func TestLoadRawTruncatedNamesByteCounts(t *testing.T) {
+	l := core.NewArrayOrder(4, 4, 4) // wants 64 uint16 samples = 128 bytes
+	payload := make([]byte, 50)
+	_, err := LoadRawOf[uint16](bytes.NewReader(payload), l)
+	if err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	for _, frag := range []string{"truncated", "got 50 bytes", "want 128", "uint16", "4x4x4"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("truncation error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestLoadRawOversizedNamesByteCounts(t *testing.T) {
+	l := core.NewArrayOrder(2, 2, 2) // wants 8 uint8 samples = 8 bytes
+	payload := make([]byte, 13)
+	_, err := LoadRawOf[uint8](bytes.NewReader(payload), l)
+	if err == nil {
+		t.Fatal("oversized stream accepted")
+	}
+	for _, frag := range []string{"oversized", "got 13 bytes", "want 8", "uint8"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("oversize error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestLoadRawFloat32ByteCountErrors(t *testing.T) {
+	// The float32 wrappers report counts too (the pre-generic messages
+	// named coordinates only).
+	l := core.NewZOrder(3, 3, 3) // wants 27 float32 = 108 bytes
+	_, err := LoadRaw(bytes.NewReader(make([]byte, 100)), l)
+	if err == nil || !strings.Contains(err.Error(), "want 108") {
+		t.Errorf("float32 truncation error %v should name want 108", err)
+	}
+	_, err = LoadRaw(bytes.NewReader(make([]byte, 112)), l)
+	if err == nil || !strings.Contains(err.Error(), "got 112 bytes") {
+		t.Errorf("float32 oversize error %v should name got 112", err)
+	}
+}

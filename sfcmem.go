@@ -81,7 +81,7 @@ func AxisStride(l Layout, axis int) StrideStats { return core.AxisStride(l, axis
 func RayStride(l Layout, dx, dy, dz float64) StrideStats { return core.RayStride(l, dx, dy, dz) }
 
 // Grid is a 3D float32 volume stored behind a Layout.
-type Grid = grid.Grid
+type Grid = grid.Grid[float32]
 
 // Reader is read-only access to a volume; Writer is write access. Both
 // *Grid and traced views satisfy them.
@@ -103,7 +103,7 @@ func SampleTrilinear(r Reader, x, y, z float64) float32 { return grid.SampleTril
 // Traced is a view of a Grid that reports every access to a Sink (for
 // cache simulation); Sink consumes the access stream.
 type (
-	Traced = grid.Traced
+	Traced = grid.Traced[float32]
 	Sink   = grid.Sink
 )
 
