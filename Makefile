@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet bench bench-smoke fuzz-smoke figures figures-quick cover race clean
+.PHONY: all check build test vet bench bench-smoke fuzz-smoke figures figures-quick cover cover-check race lint bench-regression bench-baseline clean
 
 all: check
 
@@ -24,6 +24,25 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Coverage gate over the library packages: fail when total statement
+# coverage drops below COVER_MIN percent.
+COVER_MIN ?= 70
+cover-check:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total internal/... coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+	  { echo "coverage $$total% is below $(COVER_MIN)%"; exit 1; }
+
+# Static analysis beyond go vet. Skips with a notice when golangci-lint
+# is not installed locally; CI always runs it via golangci-lint-action.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+	  golangci-lint run ./...; \
+	else \
+	  echo "golangci-lint not installed; skipping (CI runs it)"; \
+	fi
+
 # Regenerate every paper figure + extension study (tens of minutes).
 figures:
 	$(GO) run ./cmd/sfcbench -fig 0 -v -out results_full.txt -csv csv
@@ -39,6 +58,21 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Perf regression gate: run the fast-path benchmarks and compare ns/op
+# against the committed baseline with cmd/benchdiff. Fails when a gated
+# benchmark regresses past BENCH_THRESHOLD percent. Refresh the
+# baseline after an intentional perf change with `make bench-baseline`.
+BENCH_GATE ?= FastPathBilatR5|FastPathVolrend
+BENCH_THRESHOLD ?= 15
+bench-regression:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=3x -count=3 -benchmem . > bench_fresh.txt
+	$(GO) run ./cmd/benchdiff -in bench_fresh.txt -out bench_fresh.json \
+	  -baseline BENCH_baseline.json -gate '$(BENCH_GATE)' -threshold $(BENCH_THRESHOLD)
+
+bench-baseline:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=3x -count=3 -benchmem . > bench_fresh.txt
+	$(GO) run ./cmd/benchdiff -in bench_fresh.txt -baseline BENCH_baseline.json -update
+
 # Short bursts of the native fuzz targets (Go allows one -fuzz pattern
 # per invocation, so the curves run back to back).
 FUZZTIME ?= 10s
@@ -47,4 +81,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzHilbertRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 
 clean:
-	rm -rf csv frames lod test_output.txt bench_output.txt
+	rm -rf csv frames lod test_output.txt bench_output.txt bench_fresh.txt bench_fresh.json cover.out

@@ -1,0 +1,245 @@
+// Command benchdiff turns `go test -bench` text output into a stable
+// JSON summary and compares it against a committed baseline, failing
+// when a gated benchmark regresses past a threshold. It is the engine
+// of the CI bench-regression job:
+//
+//	go test -run='^$' -bench='FastPath' -benchtime=3x -benchmem . > bench.txt
+//	benchdiff -in bench.txt -out bench_fresh.json \
+//	    -baseline BENCH_baseline.json \
+//	    -gate 'FastPathBilatR5|FastPathVolrend' -threshold 15
+//
+// Refresh the baseline after an intentional performance change with
+// -update (writes the parsed results to the -baseline path):
+//
+//	benchdiff -in bench.txt -baseline BENCH_baseline.json -update
+//
+// Comparison is on ns/op only: alloc counts are pinned better by
+// testing.B.ReportAllocs assertions, and B/op noise on tiny benches
+// would make the gate cry wolf. Benchmarks present in the fresh run
+// but absent from the baseline are reported informationally; a GATED
+// benchmark missing from the fresh run is an error (a silently
+// deleted benchmark must not pass the gate).
+//
+// Exit codes: 0 ok, 1 regression or missing gated benchmark, 2 usage
+// or parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchResult is one benchmark's parsed measurements.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// benchFile is the JSON document benchdiff reads and writes.
+type benchFile struct {
+	Version    int                    `json:"version"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFastPathBilatR5/array/flat-8   5   228171026 ns/op   47440 B/op   30 allocs/op
+//
+// The trailing -N is the GOMAXPROCS suffix and is stripped from the
+// stored name so baselines survive a core-count change.
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+var memField = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
+
+// parseBench reads `go test -bench` output into a benchFile. Repeated
+// names (e.g. -count > 1) keep the minimum ns/op: the fastest
+// observation is the least noisy estimate of what the code can do.
+func parseBench(r io.Reader) (benchFile, error) {
+	out := benchFile{Version: 1, Benchmarks: map[string]benchResult{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return out, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := benchResult{NsPerOp: ns, Iterations: iters}
+		for _, f := range memField.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return out, fmt.Errorf("bad %s in %q: %w", f[2], sc.Text(), err)
+			}
+			switch f[2] {
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			}
+		}
+		if prev, ok := out.Benchmarks[m[1]]; !ok || res.NsPerOp < prev.NsPerOp {
+			out.Benchmarks[m[1]] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return out, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+func loadJSON(path string) (benchFile, error) {
+	var f benchFile
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return f, nil
+}
+
+func writeJSON(path string, f benchFile) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// compare checks every gated baseline benchmark against the fresh run
+// and writes a report. It returns the number of failures (regressions
+// past the threshold plus gated benchmarks missing from fresh).
+func compare(w io.Writer, baseline, fresh benchFile, gate *regexp.Regexp, thresholdPct float64) int {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		gated := gate.MatchString(name)
+		base := baseline.Benchmarks[name]
+		cur, ok := fresh.Benchmarks[name]
+		switch {
+		case !ok && gated:
+			fmt.Fprintf(w, "FAIL  %-45s missing from fresh run (gated)\n", name)
+			failures++
+		case !ok:
+			fmt.Fprintf(w, "skip  %-45s not in fresh run\n", name)
+		default:
+			delta := (cur.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+			verdict := "ok  "
+			if gated && delta > thresholdPct {
+				verdict = "FAIL"
+				failures++
+			} else if !gated {
+				verdict = "info"
+			}
+			fmt.Fprintf(w, "%s  %-45s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+				verdict, name, base.NsPerOp, cur.NsPerOp, delta)
+		}
+	}
+	for name := range fresh.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "new   %-45s (not in baseline)\n", name)
+		}
+	}
+	return failures
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "go test -bench output to read (default stdin)")
+	out := fs.String("out", "", "write the parsed results as JSON to this path")
+	baseline := fs.String("baseline", "", "baseline JSON to compare against (or to write with -update)")
+	gatePat := fs.String("gate", ".*", "regexp selecting the benchmarks whose regression fails the run")
+	threshold := fs.Float64("threshold", 15, "ns/op regression tolerance for gated benchmarks, percent")
+	update := fs.Bool("update", false, "write the parsed results to -baseline instead of comparing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	gate, err := regexp.Compile(*gatePat)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff: bad -gate:", err)
+		return 2
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		defer f.Close() //nolint:errcheck // read-only file
+		src = f
+	}
+	fresh, err := parseBench(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if *out != "" {
+		if err := writeJSON(*out, fresh); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+	}
+	if *update {
+		if *baseline == "" {
+			fmt.Fprintln(stderr, "benchdiff: -update needs -baseline")
+			return 2
+		}
+		if err := writeJSON(*baseline, fresh); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: wrote %d benchmarks to %s\n", len(fresh.Benchmarks), *baseline)
+		return 0
+	}
+	if *baseline == "" {
+		// Parse/convert-only invocation.
+		fmt.Fprintf(stdout, "benchdiff: parsed %d benchmarks\n", len(fresh.Benchmarks))
+		return 0
+	}
+	base, err := loadJSON(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if failures := compare(stdout, base, fresh, gate, *threshold); failures > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d gated benchmark(s) regressed past %.0f%% (or went missing)\n", failures, *threshold)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: all gated benchmarks within %.0f%% of baseline\n", *threshold)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

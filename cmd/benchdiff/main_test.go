@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: sfcmem
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFastPathBilatR5/array/flat-8         	       3	 360064429 ns/op	   47440 B/op	      30 allocs/op
+BenchmarkFastPathBilatR5/array/iface-8        	       3	 678765863 ns/op	   44528 B/op	      17 allocs/op
+BenchmarkFastPathVolrend/zorder/flat-8        	       3	  29611001 ns/op	  264496 B/op	      24 allocs/op
+BenchmarkAblationTileSize/t16-8               	       3	   1234567 ns/op
+PASS
+ok  	sfcmem	2.495s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
+	}
+	res, ok := f.Benchmarks["FastPathBilatR5/array/flat"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from name")
+	}
+	if res.NsPerOp != 360064429 || res.BytesPerOp != 47440 || res.AllocsPerOp != 30 || res.Iterations != 3 {
+		t.Errorf("parsed %+v", res)
+	}
+	if res := f.Benchmarks["AblationTileSize/t16"]; res.BytesPerOp != 0 {
+		t.Errorf("benchmark without -benchmem fields parsed as %+v", res)
+	}
+}
+
+func TestParseBenchKeepsFastestOfRepeats(t *testing.T) {
+	in := "BenchmarkX-8 10 200 ns/op\nBenchmarkX-8 10 100 ns/op\nBenchmarkX-8 10 150 ns/op\n"
+	f, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Benchmarks["X"].NsPerOp; got != 100 {
+		t.Errorf("ns/op = %v, want the 100 minimum", got)
+	}
+}
+
+func TestParseBenchEmptyInputFails(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("empty bench output parsed without error")
+	}
+}
+
+func mkBench(ns map[string]float64) benchFile {
+	f := benchFile{Version: 1, Benchmarks: map[string]benchResult{}}
+	for name, v := range ns {
+		f.Benchmarks[name] = benchResult{NsPerOp: v, Iterations: 3}
+	}
+	return f
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := mkBench(map[string]float64{"FastPathBilatR5/array/flat": 100e6, "FastPathVolrend/zorder/flat": 30e6})
+	fresh := mkBench(map[string]float64{"FastPathBilatR5/array/flat": 110e6, "FastPathVolrend/zorder/flat": 27e6})
+	var out bytes.Buffer
+	if n := compare(&out, base, fresh, regexp.MustCompile(`FastPath`), 15); n != 0 {
+		t.Fatalf("compare failed %d benchmarks within threshold:\n%s", n, out.String())
+	}
+}
+
+// TestCompareFailsOnInjected2xSlowdown is the acceptance check that
+// the gate actually bites: doubling ns/op on a gated benchmark must
+// fail the comparison.
+func TestCompareFailsOnInjected2xSlowdown(t *testing.T) {
+	base := mkBench(map[string]float64{"FastPathBilatR5/array/flat": 100e6, "FastPathVolrend/zorder/flat": 30e6})
+	fresh := mkBench(map[string]float64{"FastPathBilatR5/array/flat": 200e6, "FastPathVolrend/zorder/flat": 30e6})
+	var out bytes.Buffer
+	n := compare(&out, base, fresh, regexp.MustCompile(`FastPathBilatR5|FastPathVolrend`), 15)
+	if n != 1 {
+		t.Fatalf("2x slowdown produced %d failures, want 1:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "+100.0%") {
+		t.Errorf("report does not name the regression:\n%s", out.String())
+	}
+}
+
+func TestCompareUngatedRegressionIsInformational(t *testing.T) {
+	base := mkBench(map[string]float64{"AblationTileSize/t16": 1e6, "FastPathVolrend/zorder/flat": 30e6})
+	fresh := mkBench(map[string]float64{"AblationTileSize/t16": 5e6, "FastPathVolrend/zorder/flat": 30e6})
+	var out bytes.Buffer
+	if n := compare(&out, base, fresh, regexp.MustCompile(`FastPath`), 15); n != 0 {
+		t.Fatalf("ungated regression failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "info") {
+		t.Errorf("ungated benchmark not reported informationally:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingGatedBenchmarkFails(t *testing.T) {
+	base := mkBench(map[string]float64{"FastPathVolrend/zorder/flat": 30e6})
+	fresh := mkBench(map[string]float64{"SomethingElse": 1})
+	var out bytes.Buffer
+	if n := compare(&out, base, fresh, regexp.MustCompile(`FastPath`), 15); n != 1 {
+		t.Fatalf("missing gated benchmark produced %d failures, want 1:\n%s", n, out.String())
+	}
+}
+
+// TestRunEndToEnd drives the CLI: update a baseline from one run, pass
+// against itself, then fail against a doctored 2x-slower run.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	freshJSON := filepath.Join(dir, "fresh.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", baseline, "-update"},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("update run: exit %d, stderr %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	code = run([]string{"-baseline", baseline, "-out", freshJSON,
+		"-gate", "FastPathBilatR5|FastPathVolrend", "-threshold", "15"},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-compare: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if _, err := os.Stat(freshJSON); err != nil {
+		t.Errorf("fresh JSON artifact not written: %v", err)
+	}
+
+	slower := strings.ReplaceAll(sampleBench, " 360064429 ns/op", " 720128858 ns/op")
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-baseline", baseline,
+		"-gate", "FastPathBilatR5|FastPathVolrend", "-threshold", "15"},
+		strings.NewReader(slower), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("2x slowdown: exit %d, want 1\n%s", code, stdout.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-gate", "("},
+		{"-update"},                    // -update without -baseline
+		{"-in", "/no/such/file.txt"},   // unreadable input
+		{"-baseline", "/no/such.json"}, // unreadable baseline
+	}
+	for _, args := range cases {
+		in := strings.NewReader(sampleBench)
+		if code := run(args, in, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"sfcmem"
+)
+
+// cacheConfig is testConfig with the response cache switched on.
+func cacheConfig() config {
+	cfg := testConfig()
+	cfg.cacheBytes = 32 << 20
+	return cfg
+}
+
+// identicalRender is the request every coalescing/caching test repeats.
+var identicalRender = renderRequest{Volume: "demo", View: 3, Views: 8, Width: 32, Height: 32, Workers: 2}
+
+func postWithHeader(t *testing.T, url string, body any, header, value string) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+// reuploadDemo PUTs the demo volume's own bytes back over itself: the
+// contents are unchanged but the store generation must bump, stranding
+// every cached digest for the old generation.
+func reuploadDemo(t *testing.T, a *app) volumeInfo {
+	t.Helper()
+	v, ok := a.srv.store.get("demo")
+	if !ok {
+		t.Fatal("demo volume missing")
+	}
+	var raw bytes.Buffer
+	if err := sfcmem.SaveRawAny(&raw, v.grid); err != nil {
+		t.Fatal(err)
+	}
+	nx, ny, nz := v.grid.Dims()
+	url := "http://" + a.apiAddr() + "/volumes/demo?dtype=" + v.grid.Dtype().String() +
+		"&layout=" + v.layout
+	url += "&nx=" + itoa(nx) + "&ny=" + itoa(ny) + "&nz=" + itoa(nz)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-upload: status %d body %s", resp.StatusCode, body)
+	}
+	var info volumeInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// serveBuiltApp runs an already-built app (so tests can install hooks
+// first) with the same lifecycle management as startApp.
+func serveBuiltApp(t *testing.T, a *app) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("app.run: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("app.run did not return after cancel")
+		}
+	})
+}
+
+// TestRenderCacheCoalescing is the PR's acceptance scenario, run under
+// -race by `make race`: with an empty cache, 32 concurrent identical
+// /render requests execute the kernel exactly once (31 coalesced
+// waiters, one miss) and all receive byte-identical PNGs; a repeat
+// request is a cache hit with the same bytes; a PUT over the volume
+// forces the next request back to a miss that re-runs the kernel.
+func TestRenderCacheCoalescing(t *testing.T) {
+	a, err := newApp(cacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := newBlockingHook()
+	a.srv.renderImage = hook.render
+	serveBuiltApp(t, a)
+	url := "http://" + a.apiAddr() + "/render"
+
+	const n = 32
+	type result struct {
+		status int
+		xcache string
+		sum    [32]byte
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp := postJSON(t, url, identicalRender)
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results <- result{resp.StatusCode, resp.Header.Get("X-Cache"), sha256.Sum256(body)}
+		}()
+	}
+
+	// The leader parks inside the kernel; every other request must end
+	// up waiting on its flight, not in the admission queue.
+	<-hook.entered
+	waitFor(t, "31 coalesced waiters", func() bool { return a.srv.cache.Stats().Coalesced == n-1 })
+	if extra := len(hook.entered); extra != 0 {
+		t.Fatalf("%d extra kernel entries while coalescing", extra)
+	}
+	close(hook.release)
+
+	var first result
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		res := <-results
+		if res.status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, res.status)
+		}
+		counts[res.xcache]++
+		if i == 0 {
+			first = res
+		} else if res.sum != first.sum {
+			t.Fatal("coalesced responses are not byte-identical")
+		}
+	}
+	if counts["miss"] != 1 || counts["coalesced"] != n-1 {
+		t.Errorf("X-Cache counts %v, want 1 miss / %d coalesced", counts, n-1)
+	}
+	st := a.srv.cache.Stats()
+	if st.Misses != 1 || st.Coalesced != n-1 {
+		t.Errorf("stats misses/coalesced = %d/%d, want 1/%d", st.Misses, st.Coalesced, n-1)
+	}
+
+	// A repeat request is a pure cache hit: same bytes, no kernel run.
+	resp := postJSON(t, url, identicalRender)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("repeat X-Cache %q, want hit", xc)
+	}
+	if sha256.Sum256(body) != first.sum {
+		t.Error("cache hit is not byte-identical to the original render")
+	}
+	if len(hook.entered) != 0 {
+		t.Error("cache hit ran the kernel")
+	}
+	if st := a.srv.cache.Stats(); st.Hits != 1 {
+		t.Errorf("hits = %d, want 1", st.Hits)
+	}
+
+	// Replacing the volume bumps the generation: the next identical
+	// request misses and the kernel runs again.
+	info := reuploadDemo(t, a)
+	if info.Gen != 2 {
+		t.Fatalf("re-uploaded demo gen = %d, want 2", info.Gen)
+	}
+	resp = postJSON(t, url, identicalRender)
+	resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("post-PUT X-Cache %q, want miss", xc)
+	}
+	select {
+	case <-hook.entered:
+	default:
+		t.Error("post-PUT request did not re-run the kernel")
+	}
+	if st := a.srv.cache.Stats(); st.Misses != 2 {
+		t.Errorf("misses after PUT = %d, want 2", st.Misses)
+	}
+}
+
+// TestRenderETagNotModified: with the cache on, responses carry a
+// strong ETag; replaying it via If-None-Match answers 304 with an
+// empty body, and a PUT over the volume (new generation, new tag)
+// turns the same conditional request back into a full 200.
+func TestRenderETagNotModified(t *testing.T) {
+	a, _, _ := startApp(t, cacheConfig())
+	url := "http://" + a.apiAddr() + "/render"
+
+	resp := postJSON(t, url, identicalRender)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" || etag[0] != '"' {
+		t.Fatalf("ETag %q, want a quoted strong tag", etag)
+	}
+
+	resp = postWithHeader(t, url, identicalRender, "If-None-Match", etag)
+	nm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match replay: status %d, want 304", resp.StatusCode)
+	}
+	if len(nm) != 0 {
+		t.Errorf("304 carried %d body bytes", len(nm))
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag %q, want %q", got, etag)
+	}
+
+	// A different view is different content: same conditional tag, 200.
+	other := identicalRender
+	other.View = 5
+	resp = postWithHeader(t, url, other, "If-None-Match", etag)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("different view with stale tag: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got == etag || got == "" {
+		t.Errorf("different view ETag %q, want a fresh tag", got)
+	}
+
+	// After a PUT the old tag no longer validates.
+	reuploadDemo(t, a)
+	resp = postWithHeader(t, url, identicalRender, "If-None-Match", etag)
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-PUT conditional: status %d, want 200", resp.StatusCode)
+	}
+	if len(rb) != len(body) {
+		// Same volume contents re-uploaded: the frame is identical even
+		// though the tag is new.
+		t.Errorf("post-PUT render %d bytes, want %d", len(rb), len(body))
+	}
+	if got := resp.Header.Get("ETag"); got == etag {
+		t.Error("ETag unchanged across a volume PUT; generation not in the digest")
+	}
+}
+
+// TestRenderCacheRawFormat: raw frames cache with their dimension
+// headers intact, and png/raw digests do not collide.
+func TestRenderCacheRawFormat(t *testing.T) {
+	a, _, _ := startApp(t, cacheConfig())
+	url := "http://" + a.apiAddr() + "/render"
+	req := identicalRender
+	req.Format = "raw"
+
+	for i, want := range []string{"miss", "hit"} {
+		resp := postJSON(t, url, req)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("raw render %d: status %d", i, resp.StatusCode)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != want {
+			t.Errorf("raw render %d: X-Cache %q, want %q", i, xc, want)
+		}
+		if got := resp.Header.Get("X-Image-Width"); got != "32" {
+			t.Errorf("raw render %d: X-Image-Width %q, want 32 (meta header lost in cache?)", i, got)
+		}
+		if wantLen := 32 * 32 * 4 * 4; len(body) != wantLen {
+			t.Errorf("raw render %d: %d bytes, want %d", i, len(body), wantLen)
+		}
+	}
+
+	// The png variant of the same view must not be served the raw bytes.
+	resp := postJSON(t, url, identicalRender)
+	resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("png after raw: X-Cache %q, want miss (format missing from digest?)", xc)
+	}
+}
+
+// TestFilterCacheAndETag: identical filter requests coalesce onto one
+// kernel run, the cached JSON replays byte-identically, and the
+// conditional request answers 304.
+func TestFilterCacheAndETag(t *testing.T) {
+	a, _, _ := startApp(t, cacheConfig())
+	url := "http://" + a.apiAddr() + "/filter"
+	req := filterRequest{Src: "demo", Kernel: "gaussian", Radius: 1, Workers: 2}
+
+	resp := postJSON(t, url, req)
+	first, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filter: status %d body %s", resp.StatusCode, first)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("filter response has no ETag")
+	}
+	if _, ok := a.srv.store.get("demo.filtered"); !ok {
+		t.Fatal("filtered volume not stored")
+	}
+
+	resp = postJSON(t, url, req)
+	second, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("repeat filter X-Cache %q, want hit", xc)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("cached filter response differs: %s vs %s", first, second)
+	}
+	// The destination volume's generation did not advance on the hit:
+	// the kernel (and its store.put) ran once.
+	if v, _ := a.srv.store.get("demo.filtered"); v.gen != 1 {
+		t.Errorf("demo.filtered gen = %d after a cache hit, want 1", v.gen)
+	}
+
+	resp = postWithHeader(t, url, req, "If-None-Match", etag)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("filter If-None-Match: status %d, want 304", resp.StatusCode)
+	}
+
+	// Workers are an execution knob, not content: same digest, still a
+	// hit.
+	req.Workers = 1
+	resp = postJSON(t, url, req)
+	resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("filter with different workers X-Cache %q, want hit", xc)
+	}
+
+	// A parameter that changes the result is a different digest.
+	req.Radius = 2
+	resp = postJSON(t, url, req)
+	resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("filter with different radius X-Cache %q, want miss", xc)
+	}
+}
+
+// TestPutVolumeBumpsGeneration covers the store-generation satellite:
+// every PUT over an existing name advances the generation reported by
+// /volumes, and a fresh name starts at 1.
+func TestPutVolumeBumpsGeneration(t *testing.T) {
+	a, _, _ := startApp(t, cacheConfig())
+
+	if v, _ := a.srv.store.get("demo"); v.gen != 1 {
+		t.Fatalf("initial demo gen = %d, want 1", v.gen)
+	}
+	if info := reuploadDemo(t, a); info.Gen != 2 {
+		t.Fatalf("first re-upload gen = %d, want 2", info.Gen)
+	}
+	if info := reuploadDemo(t, a); info.Gen != 3 {
+		t.Fatalf("second re-upload gen = %d, want 3", info.Gen)
+	}
+
+	resp, err := http.Get("http://" + a.apiAddr() + "/volumes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vols []volumeInfo
+	if err := json.NewDecoder(resp.Body).Decode(&vols); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, v := range vols {
+		if v.Name == "demo" && v.Gen != 3 {
+			t.Errorf("/volumes lists demo gen %d, want 3", v.Gen)
+		}
+	}
+}
+
+// TestCacheDisabledKeepsLegacyResponses pins the -cache-bytes=0
+// default: no ETag, no X-Cache, and no 304 handling — exactly the
+// pre-cache service.
+func TestCacheDisabledKeepsLegacyResponses(t *testing.T) {
+	a, _, _ := startApp(t, testConfig())
+	url := "http://" + a.apiAddr() + "/render"
+
+	resp := postJSON(t, url, identicalRender)
+	resp.Body.Close()
+	if resp.Header.Get("ETag") != "" || resp.Header.Get("X-Cache") != "" {
+		t.Errorf("disabled cache leaked headers: ETag=%q X-Cache=%q",
+			resp.Header.Get("ETag"), resp.Header.Get("X-Cache"))
+	}
+	resp = postWithHeader(t, url, identicalRender, "If-None-Match", `"anything"`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("disabled cache answered conditional with %d, want 200", resp.StatusCode)
+	}
+	if _, ok := a.srv.reg.Snapshot()["cache.hits"]; ok {
+		t.Error("disabled cache registered cache metrics")
+	}
+}
+
+// TestCacheMetricsRegistered: the ops registry carries the cache
+// counters and gauges once -cache-bytes is set.
+func TestCacheMetricsRegistered(t *testing.T) {
+	a, _, _ := startApp(t, cacheConfig())
+	url := "http://" + a.apiAddr() + "/render"
+	resp := postJSON(t, url, identicalRender)
+	resp.Body.Close()
+	resp = postJSON(t, url, identicalRender)
+	resp.Body.Close()
+
+	mresp, err := http.Get("http://" + a.opsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"cache.hits", "cache.misses", "cache.evictions", "cache.coalesced",
+		"cache.resident_bytes", "cache.entries", "cache.budget_bytes",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("/metrics missing %q", key)
+		}
+	}
+	var hits uint64
+	if err := json.Unmarshal(snap["cache.hits"], &hits); err != nil || hits != 1 {
+		t.Errorf("cache.hits = %s (err %v), want 1", snap["cache.hits"], err)
+	}
+	var resident int64
+	if err := json.Unmarshal(snap["cache.resident_bytes"], &resident); err != nil || resident <= 0 {
+		t.Errorf("cache.resident_bytes = %s (err %v), want > 0", snap["cache.resident_bytes"], err)
+	}
+}
+
+// TestDigestCanonicalization: the digest must separate fields (no
+// ambiguity between ("ab","c") and ("a","bc")) and must change with
+// any content-affecting parameter.
+func TestDigestCanonicalization(t *testing.T) {
+	if digest("ab", "c") == digest("a", "bc") {
+		t.Error("digest concatenates fields without separation")
+	}
+	if digest("render", "v1", "demo", 1, "float32", 0, 24, 256, 256, false, "png") ==
+		digest("render", "v1", "demo", 2, "float32", 0, 24, 256, 256, false, "png") {
+		t.Error("generation does not change the digest")
+	}
+	if digest("x") == digest("y") {
+		t.Error("distinct digests collide")
+	}
+}
+
+func TestEtagMatches(t *testing.T) {
+	tag := `"abc"`
+	for _, h := range []string{`"abc"`, `*`, `"zzz", "abc"`, `W/"abc"`} {
+		if !etagMatches(h, tag) {
+			t.Errorf("etagMatches(%q, %q) = false, want true", h, tag)
+		}
+	}
+	for _, h := range []string{`"abd"`, `abc`, ``} {
+		if etagMatches(h, tag) {
+			t.Errorf("etagMatches(%q, %q) = true, want false", h, tag)
+		}
+	}
+}

@@ -10,6 +10,14 @@
 // rather than piling up goroutines, and SIGINT/SIGTERM drains in-flight
 // work before exit (bounded by -drain).
 //
+// With -cache-bytes set, render and filter responses are kept in a
+// byte-budgeted LRU keyed by a content digest (volume name + store
+// generation + full request parameters): repeated requests are served
+// from memory with strong ETags (If-None-Match answers 304), and
+// concurrent identical requests coalesce onto a single kernel run.
+// Replacing a volume via PUT bumps its generation, which strands every
+// cached result for the old contents.
+//
 // A second listener (-ops) carries the operational endpoints — /metrics
 // (the metrics registry as JSON), /debug/vars and /debug/pprof — kept
 // off the request port so they are never behind the admission gate.
@@ -48,6 +56,7 @@ type config struct {
 	volumes         []string
 	slots           int
 	queueDepth      int
+	cacheBytes      int64
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
 	drainTimeout    time.Duration
@@ -80,6 +89,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	fs.Var(volumeList{&cfg.volumes}, "volume", "volume spec name=dataset:size:layout[:dtype] (repeatable); default demo=plume:48:zorder")
 	fs.IntVar(&cfg.slots, "slots", 2, "requests running kernels concurrently")
 	fs.IntVar(&cfg.queueDepth, "queue", 8, "admitted requests waiting beyond the running ones; overflow gets 429")
+	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "render/filter response cache budget in bytes; 0 disables caching and request coalescing")
 	fs.DurationVar(&cfg.defaultDeadline, "deadline", 30*time.Second, "per-request deadline when the request sets none")
 	fs.DurationVar(&cfg.maxDeadline, "max-deadline", 2*time.Minute, "upper bound on client-requested deadlines")
 	fs.DurationVar(&cfg.drainTimeout, "drain", 30*time.Second, "how long shutdown waits for in-flight requests")
@@ -134,6 +144,7 @@ func newApp(cfg config) (*app, error) {
 	}
 	reg := metrics.NewRegistry()
 	srv := newServer(store, reg, cfg.slots, cfg.queueDepth, cfg.defaultDeadline, cfg.maxDeadline)
+	srv.enableCache(cfg.cacheBytes)
 	// The store is fully populated before the listeners bind, so the
 	// service is ready the moment it can accept a connection. A bare
 	// newServer (as in unit tests) answers /readyz with 503.

@@ -1,19 +1,24 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"sfcmem"
 	"sfcmem/internal/metrics"
+	"sfcmem/internal/rcache"
 )
 
 // server holds the request-service state: the volume store, the metrics
@@ -47,6 +52,11 @@ type server struct {
 	// replaceable in tests to make admission behaviour deterministic.
 	renderImage func(ctx context.Context, vol *sfcmem.AnyGrid, cam sfcmem.Camera, tf *sfcmem.TransferFunc, o sfcmem.RenderOptions) (*sfcmem.Image, error)
 
+	// cache, when non-nil, is the content-addressed response cache with
+	// single-flight coalescing (-cache-bytes). Nil keeps the pre-cache
+	// behavior: every request runs the kernel.
+	cache *rcache.Cache
+
 	renderReqs    *metrics.Counter
 	filterReqs    *metrics.Counter
 	rejected      *metrics.Counter
@@ -74,6 +84,74 @@ func newServer(store *volumeStore, reg *metrics.Registry, slots, depth int, defa
 	reg.Register("admission.queued", metrics.GaugeFunc(func() any { return len(s.queue) }))
 	reg.Register("admission.running", metrics.GaugeFunc(func() any { return len(s.run) }))
 	return s
+}
+
+// enableCache switches on the response cache with the given byte
+// budget and publishes its counters and gauges in the metrics
+// registry. A budget <= 0 leaves caching (and coalescing) off.
+func (s *server) enableCache(budget int64) {
+	if budget <= 0 {
+		return
+	}
+	s.cache = rcache.New(budget)
+	stat := func(f func(rcache.Stats) any) metrics.GaugeFunc {
+		return func() any { return f(s.cache.Stats()) }
+	}
+	s.reg.Register("cache.hits", stat(func(st rcache.Stats) any { return st.Hits }))
+	s.reg.Register("cache.misses", stat(func(st rcache.Stats) any { return st.Misses }))
+	s.reg.Register("cache.evictions", stat(func(st rcache.Stats) any { return st.Evictions }))
+	s.reg.Register("cache.coalesced", stat(func(st rcache.Stats) any { return st.Coalesced }))
+	s.reg.Register("cache.resident_bytes", stat(func(st rcache.Stats) any { return st.ResidentBytes }))
+	s.reg.Register("cache.entries", stat(func(st rcache.Stats) any { return st.Entries }))
+	s.reg.Register("cache.budget_bytes", stat(func(st rcache.Stats) any { return st.BudgetBytes }))
+}
+
+// digest hashes the canonical form of a request into the cache key /
+// strong ETag. Every field that can change the response bytes must be
+// present; pure execution knobs (workers, deadline) must not be, or
+// identical work would miss. The generation ties the digest to the
+// volume's current contents.
+func digest(parts ...any) string {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{'|'})
+		}
+		fmt.Fprint(h, p) //nolint:errcheck // hash.Hash.Write never fails
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// etagFor wraps a digest as a strong entity tag.
+func etagFor(d string) string { return `"` + d + `"` }
+
+// etagMatches reports whether an If-None-Match header value matches
+// etag: either the wildcard or a listed tag. Weak-comparison prefixes
+// are tolerated on the client side (W/"x" matches "x"); the tags we
+// mint are strong.
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || part == etag || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveValue writes a computed-or-cached response value. The entity
+// tag and cache-outcome headers only appear when the cache is enabled,
+// keeping -cache-bytes=0 responses identical to the pre-cache service.
+func (s *server) serveValue(w http.ResponseWriter, v rcache.Value, etag string, out rcache.Outcome) {
+	w.Header().Set("Content-Type", v.ContentType)
+	for k, val := range v.Meta {
+		w.Header().Set(k, val)
+	}
+	if s.cache != nil {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Cache", out.String())
+	}
+	w.Write(v.Body) //nolint:errcheck // headers are out; nothing to report to
 }
 
 // mux routes the request-service API (the ops endpoints live on their
@@ -202,59 +280,113 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown volume %q", req.Volume), http.StatusNotFound)
 		return
 	}
-	g := vol.grid
+	dt := vol.grid.Dtype()
 	if req.Dtype != "" {
-		dt, err := sfcmem.ParseDtype(req.Dtype)
-		if err != nil {
+		var err error
+		if dt, err = sfcmem.ParseDtype(req.Dtype); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if dt != g.Dtype() {
-			g = g.Convert(dt)
+	}
+
+	// The digest covers everything that determines the response bytes:
+	// the volume's contents (name + generation), the element type the
+	// render runs at, and the full view/framing parameters. Workers and
+	// deadline are execution knobs — per-pixel compositing is
+	// worker-count-invariant — so they are deliberately absent.
+	key := digest("render", "v1", vol.name, vol.gen, dt,
+		req.View, req.Views, req.Width, req.Height, req.Shade, req.Format)
+	etag := etagFor(key)
+	if s.cache != nil {
+		// A strong ETag is derived purely from the digest, so a match
+		// can be answered 304 without the entry being resident.
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
 		}
 	}
 
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
-	release, err := s.admit(ctx)
-	if err != nil {
-		s.admissionError(w, err)
-		return
-	}
-	defer release()
 
-	start := time.Now()
-	nx, ny, nz := g.Dims()
-	cam := sfcmem.Orbit(req.View, req.Views, nx, ny, nz, req.Width, req.Height)
-	img, err := s.renderImage(ctx, g, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
-		Workers: req.Workers,
-		Shade:   req.Shade,
-	})
+	// renderOnce is the full kernel path — dtype conversion, admission,
+	// raycast, encode — run by exactly one request per digest when the
+	// cache is on. Conversion sits inside so cache hits skip it too.
+	renderOnce := func(ctx context.Context) (rcache.Value, error) {
+		g := vol.grid
+		if dt != g.Dtype() {
+			g = g.Convert(dt)
+		}
+		release, err := s.admit(ctx)
+		if err != nil {
+			return rcache.Value{}, err
+		}
+		defer release()
+
+		start := time.Now()
+		nx, ny, nz := g.Dims()
+		cam := sfcmem.Orbit(req.View, req.Views, nx, ny, nz, req.Width, req.Height)
+		img, err := s.renderImage(ctx, g, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
+			Workers: req.Workers,
+			Shade:   req.Shade,
+		})
+		if err != nil {
+			return rcache.Value{}, err
+		}
+		s.renderLatency.Observe(time.Since(start))
+		return encodeFrame(img, req.Format)
+	}
+
+	var v rcache.Value
+	var out rcache.Outcome
+	var err error
+	if s.cache != nil {
+		v, out, err = s.cache.Do(ctx, key, renderOnce)
+	} else {
+		v, err = renderOnce(ctx)
+	}
 	if err != nil {
 		if !s.admissionError(w, err) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
 	}
-	s.renderLatency.Observe(time.Since(start))
+	s.serveValue(w, v, etag, out)
+}
 
-	switch req.Format {
+// encodeFrame serializes a rendered image in the requested format into
+// a cacheable response value.
+func encodeFrame(img *sfcmem.Image, format string) (rcache.Value, error) {
+	switch format {
 	case "png":
-		w.Header().Set("Content-Type", "image/png")
-		img.WritePNG(w) //nolint:errcheck // headers are out; nothing to report to
+		var buf bytes.Buffer
+		if err := img.WritePNG(&buf); err != nil {
+			return rcache.Value{}, err
+		}
+		return rcache.Value{Body: buf.Bytes(), ContentType: "image/png"}, nil
 	case "raw":
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("X-Image-Width", fmt.Sprint(img.W))
-		w.Header().Set("X-Image-Height", fmt.Sprint(img.H))
-		buf := make([]float32, 0, img.W*img.H*4)
+		fb := make([]float32, 0, img.W*img.H*4)
 		for y := 0; y < img.H; y++ {
 			for x := 0; x < img.W; x++ {
 				c := img.At(x, y)
-				buf = append(buf, c.R, c.G, c.B, c.A)
+				fb = append(fb, c.R, c.G, c.B, c.A)
 			}
 		}
-		binary.Write(w, binary.LittleEndian, buf) //nolint:errcheck // as above
+		var buf bytes.Buffer
+		if err := binary.Write(&buf, binary.LittleEndian, fb); err != nil {
+			return rcache.Value{}, err
+		}
+		return rcache.Value{
+			Body:        buf.Bytes(),
+			ContentType: "application/octet-stream",
+			Meta: map[string]string{
+				"X-Image-Width":  fmt.Sprint(img.W),
+				"X-Image-Height": fmt.Sprint(img.H),
+			},
+		}, nil
 	}
+	return rcache.Value{}, fmt.Errorf("unknown format %q", format)
 }
 
 type filterRequest struct {
@@ -323,55 +455,89 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown volume %q", req.Src), http.StatusNotFound)
 		return
 	}
-	srcGrid := src.grid
+	dt := src.grid.Dtype()
 	if req.Dtype != "" {
-		dt, err := sfcmem.ParseDtype(req.Dtype)
-		if err != nil {
+		var err error
+		if dt, err = sfcmem.ParseDtype(req.Dtype); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if dt != srcGrid.Dtype() {
-			srcGrid = srcGrid.Convert(dt)
+	}
+
+	// The filter digest ties the result to the source contents (name +
+	// generation) and the full kernel parameters. The destination name
+	// is included: it is part of the observable effect (which volume
+	// the result lands in), not just of the response body.
+	key := digest("filter", "v1", src.name, src.gen, req.Dst, req.Kernel,
+		req.Radius, req.Axis, req.SigmaRange, dt)
+	etag := etagFor(key)
+	if s.cache != nil {
+		// A 304 here implies the same digest already ran, so the
+		// destination volume exists with identical contents.
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
 		}
 	}
 
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
-	release, err := s.admit(ctx)
-	if err != nil {
-		s.admissionError(w, err)
-		return
-	}
-	defer release()
 
-	start := time.Now()
-	dst := sfcmem.NewAnyGrid(srcGrid.Dtype(), srcGrid.Layout())
-	err = kernel(ctx, srcGrid, dst, sfcmem.FilterOptions{
-		Radius:     req.Radius,
-		Axis:       axis,
-		SigmaRange: req.SigmaRange,
-		Workers:    req.Workers,
-	})
+	filterOnce := func(ctx context.Context) (rcache.Value, error) {
+		srcGrid := src.grid
+		if dt != srcGrid.Dtype() {
+			srcGrid = srcGrid.Convert(dt)
+		}
+		release, err := s.admit(ctx)
+		if err != nil {
+			return rcache.Value{}, err
+		}
+		defer release()
+
+		start := time.Now()
+		dst := sfcmem.NewAnyGrid(srcGrid.Dtype(), srcGrid.Layout())
+		err = kernel(ctx, srcGrid, dst, sfcmem.FilterOptions{
+			Radius:     req.Radius,
+			Axis:       axis,
+			SigmaRange: req.SigmaRange,
+			Workers:    req.Workers,
+		})
+		if err != nil {
+			return rcache.Value{}, err
+		}
+		elapsed := time.Since(start)
+		s.filterLatency.Observe(elapsed)
+		s.store.put(&storedVolume{
+			name:    req.Dst,
+			dataset: src.dataset + "+" + req.Kernel,
+			layout:  src.layout,
+			grid:    dst,
+		})
+		var buf bytes.Buffer
+		json.NewEncoder(&buf).Encode(map[string]any{ //nolint:errcheck // bytes.Buffer never fails
+			"volume":  req.Dst,
+			"dtype":   dst.Dtype().String(),
+			"seconds": elapsed.Seconds(),
+		})
+		return rcache.Value{Body: buf.Bytes(), ContentType: "application/json"}, nil
+	}
+
+	var v rcache.Value
+	var out rcache.Outcome
+	var err error
+	if s.cache != nil {
+		v, out, err = s.cache.Do(ctx, key, filterOnce)
+	} else {
+		v, err = filterOnce(ctx)
+	}
 	if err != nil {
 		if !s.admissionError(w, err) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
 		return
 	}
-	elapsed := time.Since(start)
-	s.filterLatency.Observe(elapsed)
-	s.store.put(&storedVolume{
-		name:    req.Dst,
-		dataset: src.dataset + "+" + req.Kernel,
-		layout:  src.layout,
-		grid:    dst,
-	})
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
-		"volume":  req.Dst,
-		"dtype":   dst.Dtype().String(),
-		"seconds": elapsed.Seconds(),
-	})
+	s.serveValue(w, v, etag, out)
 }
 
 type createVolumeRequest struct {

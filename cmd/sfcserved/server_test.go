@@ -324,6 +324,9 @@ func TestOpsEndpoints(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Errorf("/metrics Content-Type %q", ct)
 	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/metrics Cache-Control %q, want no-store", cc)
+	}
 	var snap map[string]json.RawMessage
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatalf("/metrics is not JSON: %v", err)

@@ -18,6 +18,12 @@ type storedVolume struct {
 	dataset string // "plume", "phantom", "upload", or "<src>+<kernel>"
 	layout  string // layout name as given in the spec
 	grid    *sfcmem.AnyGrid
+	// gen is the volume's generation: 1 on first store, +1 every time
+	// put replaces the name. Response-cache digests embed it, so
+	// replacing a volume makes every cached result for the old contents
+	// unreachable without an explicit purge. Assigned by put; immutable
+	// afterwards.
+	gen uint64
 }
 
 // volumeInfo is a volume's JSON form for the /volumes listing.
@@ -30,6 +36,7 @@ type volumeInfo struct {
 	Ny      int    `json:"ny"`
 	Nz      int    `json:"nz"`
 	Bytes   int64  `json:"bytes"`
+	Gen     uint64 `json:"gen"`
 }
 
 func (v *storedVolume) info() volumeInfo {
@@ -39,6 +46,7 @@ func (v *storedVolume) info() volumeInfo {
 		Dtype: v.grid.Dtype().String(),
 		Nx:    nx, Ny: ny, Nz: nz,
 		Bytes: v.grid.Bytes(),
+		Gen:   v.gen,
 	}
 }
 
@@ -61,9 +69,16 @@ func (s *volumeStore) get(name string) (*storedVolume, bool) {
 	return v, ok
 }
 
-// put stores v, replacing any volume of the same name.
+// put stores v, replacing any volume of the same name and assigning
+// the next generation for that name. Names are never deleted, so the
+// counter is monotonic for the life of the process.
 func (s *volumeStore) put(v *storedVolume) {
 	s.mu.Lock()
+	if old, ok := s.vols[v.name]; ok {
+		v.gen = old.gen + 1
+	} else {
+		v.gen = 1
+	}
 	s.vols[v.name] = v
 	s.mu.Unlock()
 }

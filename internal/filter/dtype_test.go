@@ -105,7 +105,7 @@ func TestBilateralTracedViewsPerDtype(t *testing.T) {
 	dst := grid.NewOf[uint8](l)
 	var sink grid.CountingSink
 	srcs := []grid.ReaderOf[uint8]{grid.NewTraced(src, 0, &sink)}
-	dsts := []grid.WriterOf[uint8]{grid.NewTraced(dst, 1 << 40, &sink)}
+	dsts := []grid.WriterOf[uint8]{grid.NewTraced(dst, 1<<40, &sink)}
 	if err := ApplyViewsOf(srcs, dsts, Options{Radius: 1, Workers: 1}); err != nil {
 		t.Fatal(err)
 	}

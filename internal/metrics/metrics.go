@@ -421,6 +421,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // one at /metrics on its ops port).
 func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	// Snapshots are point-in-time by definition; any cache between the
+	// scraper and the process would serve stale counters.
+	w.Header().Set("Cache-Control", "no-store")
 	if err := r.WriteJSON(w); err != nil {
 		// Headers are gone by the time encoding fails; nothing to do
 		// but drop the connection state on the floor.

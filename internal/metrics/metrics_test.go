@@ -237,3 +237,22 @@ func TestRegistryServeHTTP(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryServeHTTPHeadersPinned pins the exact response headers: a
+// snapshot endpoint must declare its JSON type and forbid intermediary
+// caching, or a scraper behind a proxy reads frozen counters. (The CI
+// smoke job greps raw bytes and would mask a header regression.)
+func TestRegistryServeHTTPHeadersPinned(t *testing.T) {
+	r := NewRegistry()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	want := map[string]string{
+		"Content-Type":  "application/json",
+		"Cache-Control": "no-store",
+	}
+	for h, v := range want {
+		if got := rec.Header().Get(h); got != v {
+			t.Errorf("%s = %q, want %q", h, got, v)
+		}
+	}
+}
