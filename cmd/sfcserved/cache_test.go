@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -359,6 +360,107 @@ func TestFilterCacheAndETag(t *testing.T) {
 	}
 }
 
+// uploadZeros PUTs an n³ float32 volume of zero bytes over name,
+// clobbering whatever was stored there (and clearing any filterKey).
+func uploadZeros(t *testing.T, a *app, name string, n int) {
+	t.Helper()
+	body := make([]byte, n*n*n*4)
+	url := fmt.Sprintf("http://%s/volumes/%s?dtype=float32&layout=zorder&nx=%d&ny=%d&nz=%d",
+		a.apiAddr(), name, n, n, n)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload over %s: status %d", name, resp.StatusCode)
+	}
+}
+
+// TestFilterDstClobberedByUpload pins the destination-state rule: a
+// /filter response (cached body or 304) claims dst holds the filter
+// output, so once an upload replaces dst, the identical request must
+// go back through the kernel and re-store dst — a replayed hit or a
+// 304 here would leave clients reading the uploaded bytes while being
+// told they are the filter result.
+func TestFilterDstClobberedByUpload(t *testing.T) {
+	a, _, _ := startApp(t, cacheConfig())
+	url := "http://" + a.apiAddr() + "/filter"
+	req := filterRequest{Src: "demo", Kernel: "gaussian", Radius: 1, Workers: 2}
+
+	resp := postJSON(t, url, req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filter: status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("filter response has no ETag")
+	}
+
+	uploadZeros(t, a, "demo.filtered", 8)
+	if v, ok := a.srv.store.get("demo.filtered"); !ok || v.filterKey != "" || v.gen != 2 {
+		t.Fatalf("upload over dst: filterKey %q gen %d, want empty and 2", v.filterKey, v.gen)
+	}
+
+	// The conditional replay must be a full 200 — dst no longer holds
+	// the output the 304 would vouch for — and must re-run the kernel.
+	resp = postWithHeader(t, url, req, "If-None-Match", etag)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-clobber conditional: status %d, want 200", resp.StatusCode)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc == "hit" {
+		t.Errorf("post-clobber filter X-Cache %q; replayed a stale claim", xc)
+	}
+	v, ok := a.srv.store.get("demo.filtered")
+	if !ok || v.dataset != "plume+gaussian" || v.gen != 3 {
+		t.Fatalf("post-clobber dst: dataset %q gen %d, want plume+gaussian gen 3 (kernel re-ran and re-stored)", v.dataset, v.gen)
+	}
+
+	// With dst restored, the cache is trustworthy again: repeat is a
+	// hit and the conditional request validates.
+	resp = postJSON(t, url, req)
+	resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("post-restore filter X-Cache %q, want hit", xc)
+	}
+	resp = postWithHeader(t, url, req, "If-None-Match", etag)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("post-restore conditional: status %d, want 304", resp.StatusCode)
+	}
+}
+
+// TestETagProcessScoped: two processes serving the identical volume
+// mint different ETags (a boot nonce is mixed into every digest), so
+// a tag from a previous run can never validate a 304 against contents
+// this process has not computed — store generations restart at 1 per
+// process and prove nothing across runs.
+func TestETagProcessScoped(t *testing.T) {
+	a1, _, _ := startApp(t, cacheConfig())
+	a2, _, _ := startApp(t, cacheConfig())
+
+	r1 := postJSON(t, "http://"+a1.apiAddr()+"/render", identicalRender)
+	r1.Body.Close()
+	etag := r1.Header.Get("ETag")
+	r2 := postJSON(t, "http://"+a2.apiAddr()+"/render", identicalRender)
+	r2.Body.Close()
+	if etag == "" || etag == r2.Header.Get("ETag") {
+		t.Fatalf("identical requests in two processes share ETag %q", etag)
+	}
+
+	resp := postWithHeader(t, "http://"+a2.apiAddr()+"/render", identicalRender, "If-None-Match", etag)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("cross-process conditional: status %d, want 200", resp.StatusCode)
+	}
+}
+
 // TestPutVolumeBumpsGeneration covers the store-generation satellite:
 // every PUT over an existing name advances the generation reported by
 // /volumes, and a fresh name starts at 1.
@@ -457,6 +559,14 @@ func TestCacheMetricsRegistered(t *testing.T) {
 func TestDigestCanonicalization(t *testing.T) {
 	if digest("ab", "c") == digest("a", "bc") {
 		t.Error("digest concatenates fields without separation")
+	}
+	// Client-chosen names may contain any byte; a separator inside a
+	// value must not be able to forge a field boundary.
+	if digest("a|b", "c") == digest("a", "b|c") {
+		t.Error("a '|' inside a field forges the field boundary")
+	}
+	if digest("2:a", "b") == digest("2", "a,b") {
+		t.Error("length-prefix characters inside a field forge the encoding")
 	}
 	if digest("render", "v1", "demo", 1, "float32", 0, 24, 256, 256, false, "png") ==
 		digest("render", "v1", "demo", 2, "float32", 0, 24, 256, 256, false, "png") {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -56,6 +57,9 @@ type server struct {
 	// single-flight coalescing (-cache-bytes). Nil keeps the pre-cache
 	// behavior: every request runs the kernel.
 	cache *rcache.Cache
+	// nonce scopes cache digests (and therefore ETags) to this process;
+	// see bootNonce.
+	nonce string
 
 	renderReqs    *metrics.Counter
 	filterReqs    *metrics.Counter
@@ -74,6 +78,7 @@ func newServer(store *volumeStore, reg *metrics.Registry, slots, depth int, defa
 		defaultDeadline: defaultDeadline,
 		maxDeadline:     maxDeadline,
 		renderImage:     sfcmem.RenderAnyCtx,
+		nonce:           bootNonce(),
 		renderReqs:      reg.Counter("render.requests", 1),
 		filterReqs:      reg.Counter("filter.requests", 1),
 		rejected:        reg.Counter("admission.rejected", 1),
@@ -110,16 +115,31 @@ func (s *server) enableCache(budget int64) {
 // strong ETag. Every field that can change the response bytes must be
 // present; pure execution knobs (workers, deadline) must not be, or
 // identical work would miss. The generation ties the digest to the
-// volume's current contents.
+// volume's current contents. Each part is written length-prefixed
+// (netstring style): volume names are client-chosen, so a separator
+// character inside a value must not be able to forge a field boundary
+// and collide two distinct requests onto one key.
 func digest(parts ...any) string {
 	h := sha256.New()
-	for i, p := range parts {
-		if i > 0 {
-			h.Write([]byte{'|'})
-		}
-		fmt.Fprint(h, p) //nolint:errcheck // hash.Hash.Write never fails
+	for _, p := range parts {
+		s := fmt.Sprint(p)
+		fmt.Fprintf(h, "%d:%s,", len(s), s) //nolint:errcheck // hash.Hash.Write never fails
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// bootNonce returns a random per-process value mixed into every cache
+// digest. Store generations restart at 1 on every boot, so without it
+// an ETag minted by a previous process (same volume name and
+// generation, but a different -volume dataset/size, or a /filter dst
+// that this process never produced) would validate a 304 against
+// different bytes.
+func bootNonce() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("sfcserved: boot nonce: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // etagFor wraps a digest as a strong entity tag.
@@ -294,7 +314,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// render runs at, and the full view/framing parameters. Workers and
 	// deadline are execution knobs — per-pixel compositing is
 	// worker-count-invariant — so they are deliberately absent.
-	key := digest("render", "v1", vol.name, vol.gen, dt,
+	key := digest(s.nonce, "render", "v1", vol.name, vol.gen, dt,
 		req.View, req.Views, req.Width, req.Height, req.Shade, req.Format)
 	etag := etagFor(key)
 	if s.cache != nil {
@@ -465,16 +485,25 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The filter digest ties the result to the source contents (name +
-	// generation) and the full kernel parameters. The destination name
-	// is included: it is part of the observable effect (which volume
-	// the result lands in), not just of the response body.
-	key := digest("filter", "v1", src.name, src.gen, req.Dst, req.Kernel,
-		req.Radius, req.Axis, req.SigmaRange, dt)
+	// generation), the full kernel parameters, and the destination
+	// name — part of the observable effect (which volume the result
+	// lands in). The destination's *state* cannot live in the key (the
+	// run itself bumps it); it is checked via dstHoldsResult instead.
+	key := digest(s.nonce, "filter", "v1", src.name, src.gen, req.Dst, req.Kernel,
+		req.Radius, axis, req.SigmaRange, dt)
 	etag := etagFor(key)
+	// dstHoldsResult reports whether the destination volume currently
+	// holds this exact filter run's output. The endpoint's main effect
+	// is mutating dst, so a cached response — or a 304 — is only
+	// honest while that effect is still in place; an upload over dst
+	// clears its filterKey, forcing the next identical request back
+	// through the kernel.
+	dstHoldsResult := func() bool {
+		d, ok := s.store.get(req.Dst)
+		return ok && d.filterKey == key
+	}
 	if s.cache != nil {
-		// A 304 here implies the same digest already ran, so the
-		// destination volume exists with identical contents.
-		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) && dstHoldsResult() {
 			w.Header().Set("ETag", etag)
 			w.WriteHeader(http.StatusNotModified)
 			return
@@ -509,10 +538,11 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 		elapsed := time.Since(start)
 		s.filterLatency.Observe(elapsed)
 		s.store.put(&storedVolume{
-			name:    req.Dst,
-			dataset: src.dataset + "+" + req.Kernel,
-			layout:  src.layout,
-			grid:    dst,
+			name:      req.Dst,
+			dataset:   src.dataset + "+" + req.Kernel,
+			layout:    src.layout,
+			grid:      dst,
+			filterKey: key,
 		})
 		var buf bytes.Buffer
 		json.NewEncoder(&buf).Encode(map[string]any{ //nolint:errcheck // bytes.Buffer never fails
@@ -527,6 +557,14 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	var out rcache.Outcome
 	var err error
 	if s.cache != nil {
+		if !dstHoldsResult() {
+			// The response body may still be resident, but dst no longer
+			// holds the output it describes (replaced by an upload since
+			// the run). Drop the entry so Do re-runs the kernel and
+			// re-stores dst instead of replaying a claim that is no
+			// longer true.
+			s.cache.Invalidate(key)
+		}
 		v, out, err = s.cache.Do(ctx, key, filterOnce)
 	} else {
 		v, err = filterOnce(ctx)

@@ -24,6 +24,13 @@ type storedVolume struct {
 	// unreachable without an explicit purge. Assigned by put; immutable
 	// afterwards.
 	gen uint64
+	// filterKey, when non-empty, is the response-cache digest of the
+	// /filter run that produced this volume. handleFilter compares it
+	// against a request's digest to decide whether the destination
+	// still holds that run's output; uploads and synthesized volumes
+	// leave it empty, which invalidates any cached filter response
+	// targeting the name.
+	filterKey string
 }
 
 // volumeInfo is a volume's JSON form for the /volumes listing.

@@ -148,8 +148,12 @@ func New(budget int64) *Cache {
 func (c *Cache) Get(key string) (Value, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
+	var v Value
 	if ok {
 		c.lru.MoveToFront(e.elem)
+		// Copy the value inside the critical section: a concurrent Put
+		// to the same key rewrites e.val in place under the lock.
+		v = e.val
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -157,7 +161,22 @@ func (c *Cache) Get(key string) (Value, bool) {
 		return Value{}, false
 	}
 	c.hits.Add(1)
-	return e.val, true
+	return v, true
+}
+
+// Invalidate drops key's resident entry, if any, so the next Do for
+// the key re-runs its compute function. An in-flight computation for
+// the key is left alone — its waiters expect its result; a caller
+// that replaced the underlying state can invalidate again once it
+// lands. Invalidated entries do not count as evictions.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+		c.resident -= e.cost
+	}
+	c.mu.Unlock()
 }
 
 // Put stores v under key unconditionally (no flight interaction),
@@ -203,7 +222,9 @@ func (c *Cache) putLocked(key string, v Value) {
 // concurrent callers. The compute function receives the leader's own
 // context; its error (nil or not) is shared with every waiter, except
 // that a leader's context error triggers the waiter-retry path
-// described in the package comment. Errors are never cached.
+// described in the package comment. Errors are never cached. If the
+// compute function panics, the panic propagates to the leader's
+// caller and waiters are released with ErrComputePanicked.
 func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (Value, error)) (Value, Outcome, error) {
 	for {
 		c.mu.Lock()
@@ -241,18 +262,37 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (Va
 		c.mu.Unlock()
 
 		c.misses.Add(1)
-		v, err := fn(ctx)
-		f.val, f.err = v, err
+		return c.lead(ctx, key, f, fn)
+	}
+}
 
+// ErrComputePanicked is the error waiters receive when the leader's
+// compute function panicked instead of returning. The panic itself
+// propagates to the leader's caller.
+var ErrComputePanicked = errors.New("rcache: compute function panicked")
+
+// lead runs the compute function as the flight's leader. Teardown —
+// deregistering the flight, caching a successful result, releasing
+// waiters — runs in a defer so that a panicking fn still closes done;
+// otherwise every present and future Do for the key would block
+// forever on a poisoned flight (net/http recovers per-request panics,
+// so the process would live on with the key wedged).
+func (c *Cache) lead(ctx context.Context, key string, f *flight, fn func(context.Context) (Value, error)) (Value, Outcome, error) {
+	// Provisional error: only overwritten if fn returns. Waiters read
+	// it after done closes, so a panic surfaces to them as a plain
+	// non-retryable error.
+	f.err = ErrComputePanicked
+	defer func() {
 		c.mu.Lock()
 		delete(c.flights, key)
-		if err == nil {
-			c.putLocked(key, v)
+		if f.err == nil {
+			c.putLocked(key, f.val)
 		}
 		c.mu.Unlock()
 		close(f.done)
-		return v, Miss, err
-	}
+	}()
+	f.val, f.err = fn(ctx)
+	return f.val, Miss, f.err
 }
 
 // Stats snapshots the counters. Counter reads are individually atomic

@@ -284,6 +284,99 @@ func TestLeaderCancelPromotesWaiter(t *testing.T) {
 	}
 }
 
+// TestLeaderPanicReleasesWaiters: a panic in the compute function must
+// not poison the key. The flight teardown runs in a defer, so waiters
+// are released with ErrComputePanicked, the panic propagates to the
+// leader's caller, and the next Do for the key computes afresh.
+func TestLeaderPanicReleasesWaiters(t *testing.T) {
+	c := New(1 << 20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderPanic := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		c.Do(context.Background(), "k", func(context.Context) (Value, error) { //nolint:errcheck
+			close(entered)
+			<-release
+			panic("kernel exploded")
+		})
+	}()
+	<-entered
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func(context.Context) (Value, error) {
+			t.Error("waiter ran the compute function")
+			return Value{}, nil
+		})
+		waiterDone <- err
+	}()
+	waitFor(t, "waiter coalesced", func() bool { return c.Stats().Coalesced == 1 })
+	close(release)
+	if r := <-leaderPanic; r == nil {
+		t.Fatal("panic did not propagate to the leader's caller")
+	}
+	if err := <-waiterDone; !errors.Is(err, ErrComputePanicked) {
+		t.Fatalf("waiter got %v, want ErrComputePanicked", err)
+	}
+	// The key is not poisoned: a fresh Do leads and the panic result
+	// was not cached.
+	v, out, err := c.Do(context.Background(), "k", func(context.Context) (Value, error) { return val("recovered"), nil })
+	if err != nil || out != Miss || string(v.Body) != "recovered" {
+		t.Errorf("Do after panic: %v %v %q, want nil Miss recovered", err, out, v.Body)
+	}
+}
+
+// TestInvalidate: dropping one key leaves the rest (and the resident
+// accounting) intact, does not count as an eviction, and the next Do
+// recomputes.
+func TestInvalidate(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", val("stale"))
+	c.Put("other", val("keep"))
+	c.Invalidate("k")
+	c.Invalidate("absent") // no-op
+	if _, ok := c.Get("k"); ok {
+		t.Error("invalidated entry still resident")
+	}
+	if _, ok := c.Get("other"); !ok {
+		t.Error("unrelated entry dropped by Invalidate")
+	}
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Errorf("evictions = %d; invalidation must not count as eviction", st.Evictions)
+	}
+	if want := cost("other", val("keep")); st.ResidentBytes != want || st.Entries != 1 {
+		t.Errorf("resident/entries = %d/%d, want %d/1", st.ResidentBytes, st.Entries, want)
+	}
+	_, out, err := c.Do(context.Background(), "k", func(context.Context) (Value, error) { return val("fresh"), nil })
+	if err != nil || out != Miss {
+		t.Errorf("Do after Invalidate: %v %v, want nil Miss", err, out)
+	}
+}
+
+// TestGetPutRace fails under -race if Get reads the entry's value
+// outside the critical section: Put rewrites e.val in place under the
+// lock while a concurrent Get of the same key reads it.
+func TestGetPutRace(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", val("seed"))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if i%2 == 0 {
+					c.Put("k", val("bodies"[:1+j%6]))
+				} else if v, ok := c.Get("k"); ok && len(v.Body) == 0 {
+					t.Error("Get returned an empty body")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
 func TestZeroBudgetStillCoalesces(t *testing.T) {
 	c := New(0)
 	var runs atomic.Int32
