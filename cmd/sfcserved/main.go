@@ -18,9 +18,22 @@
 // Replacing a volume via PUT bumps its generation, which strands every
 // cached result for the old contents.
 //
+// Every render/filter/volumes request runs under a request-scoped
+// trace: the service accepts W3C traceparent, always answers with an
+// X-Request-Id, and records a span per stage (admission queue and slot
+// wait, cache lookup, dtype resolution, kernel, encode) plus the kernel
+// workers' per-item spans. Completed requests emit one JSON access-log
+// line (stderr) with the per-stage breakdown; -slow-log additionally
+// dumps the full span tree of outliers, and -obs-off ablates the whole
+// layer for overhead measurement.
+//
 // A second listener (-ops) carries the operational endpoints — /metrics
-// (the metrics registry as JSON), /debug/vars and /debug/pprof — kept
-// off the request port so they are never behind the admission gate.
+// (the metrics registry as JSON, or Prometheus text format with
+// ?format=prometheus), /ops/requests (live in-flight requests with
+// their current stage), /ops/trace/recent (the last completed request
+// span-trees as Chrome trace_event JSON for about:tracing/Perfetto),
+// /version, /debug/vars and /debug/pprof — kept off the request port so
+// they are never behind the admission gate.
 //
 //	sfcserved -addr :8080 -ops :8081 -volume demo=plume:64:zorder
 //	curl -d '{"volume":"demo","width":256,"height":256}' localhost:8080/render > frame.png
@@ -43,6 +56,7 @@ import (
 	"time"
 
 	"sfcmem/internal/metrics"
+	"sfcmem/internal/obs"
 )
 
 func main() {
@@ -60,6 +74,11 @@ type config struct {
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
 	drainTimeout    time.Duration
+	obsOff          bool
+	slowLog         time.Duration
+	// accessLog receives the JSON access-log stream; run wires it to
+	// stderr, tests substitute a buffer. Nil falls back to stderr.
+	accessLog io.Writer
 }
 
 // volumeList collects repeated -volume flags.
@@ -93,6 +112,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	fs.DurationVar(&cfg.defaultDeadline, "deadline", 30*time.Second, "per-request deadline when the request sets none")
 	fs.DurationVar(&cfg.maxDeadline, "max-deadline", 2*time.Minute, "upper bound on client-requested deadlines")
 	fs.DurationVar(&cfg.drainTimeout, "drain", 30*time.Second, "how long shutdown waits for in-flight requests")
+	fs.BoolVar(&cfg.obsOff, "obs-off", false, "disable request tracing and access logs (ablation; RED metrics stay on)")
+	fs.DurationVar(&cfg.slowLog, "slow-log", 0, "dump the full span tree of requests slower than this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -143,8 +164,26 @@ func newApp(cfg config) (*app, error) {
 		store.put(v)
 	}
 	reg := metrics.NewRegistry()
+	reg.Namespace = "sfcserved"
 	srv := newServer(store, reg, cfg.slots, cfg.queueDepth, cfg.defaultDeadline, cfg.maxDeadline)
 	srv.enableCache(cfg.cacheBytes)
+	if !cfg.obsOff {
+		logw := cfg.accessLog
+		if logw == nil {
+			logw = os.Stderr
+		}
+		srv.hub = obs.NewHub(logw, 0)
+		srv.hub.SlowThreshold = cfg.slowLog
+		// The access-log stream opens with the build identity, so every
+		// log file self-describes which binary produced it.
+		bi := versionInfo()
+		srv.hub.Logger().Info("boot",
+			"module_version", bi["module_version"],
+			"go_version", bi["go_version"],
+			"vcs_revision", bi["vcs_revision"],
+			"vcs_modified", bi["vcs_modified"],
+		)
+	}
 	// The store is fully populated before the listeners bind, so the
 	// service is ready the moment it can accept a connection. A bare
 	// newServer (as in unit tests) answers /readyz with 503.
@@ -161,6 +200,11 @@ func newApp(cfg config) (*app, error) {
 	}
 	opsMux := http.NewServeMux()
 	opsMux.Handle("/metrics", reg)
+	opsMux.HandleFunc("GET /version", srv.handleVersion)
+	if srv.hub != nil {
+		opsMux.HandleFunc("GET /ops/requests", srv.hub.HandleInflight)
+		opsMux.HandleFunc("GET /ops/trace/recent", srv.hub.HandleRecent)
+	}
 	opsMux.Handle("/debug/vars", expvar.Handler())
 	opsMux.HandleFunc("/debug/pprof/", pprof.Index)
 	opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

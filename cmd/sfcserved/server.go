@@ -19,6 +19,7 @@ import (
 
 	"sfcmem"
 	"sfcmem/internal/metrics"
+	"sfcmem/internal/obs"
 	"sfcmem/internal/rcache"
 )
 
@@ -61,6 +62,14 @@ type server struct {
 	// see bootNonce.
 	nonce string
 
+	// hub is the request-observability layer: per-request traces,
+	// access logs, the completed-trace ring, and in-flight inspection.
+	// Nil (-obs-off) disables all of it; every touch point is nil-safe.
+	hub *obs.Hub
+	// routes holds the per-route RED instrumentation (status-class
+	// counters + whole-request latency), keyed by route name.
+	routes map[string]*routeStats
+
 	renderReqs    *metrics.Counter
 	filterReqs    *metrics.Counter
 	rejected      *metrics.Counter
@@ -86,8 +95,17 @@ func newServer(store *volumeStore, reg *metrics.Registry, slots, depth int, defa
 		renderLatency:   reg.Histogram("render.latency"),
 		filterLatency:   reg.Histogram("filter.latency"),
 	}
+	// Per-route RED families. admission.rejected/deadline.exceeded stay
+	// registered for compatibility; the status-class counters supersede
+	// them as the failure signal (a 429 is a render.4xx too).
+	s.routes = map[string]*routeStats{
+		"render":  newRouteStats(reg, "render"),
+		"filter":  newRouteStats(reg, "filter"),
+		"volumes": newRouteStats(reg, "volumes"),
+	}
 	reg.Register("admission.queued", metrics.GaugeFunc(func() any { return len(s.queue) }))
 	reg.Register("admission.running", metrics.GaugeFunc(func() any { return len(s.run) }))
+	reg.Register("build.info", metrics.Info(versionInfo()))
 	return s
 }
 
@@ -175,14 +193,17 @@ func (s *server) serveValue(w http.ResponseWriter, v rcache.Value, etag string, 
 }
 
 // mux routes the request-service API (the ops endpoints live on their
-// own mux; see newApp).
+// own mux; see newApp). Kernel and store routes go through instrument;
+// the probes and /version stay bare — scraping them every second must
+// not churn the trace ring or the access log.
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("POST /render", s.handleRender)
-	m.HandleFunc("POST /filter", s.handleFilter)
-	m.HandleFunc("GET /volumes", s.handleListVolumes)
-	m.HandleFunc("POST /volumes", s.handleCreateVolume)
-	m.HandleFunc("PUT /volumes/{name}", s.handleUploadVolume)
+	m.HandleFunc("POST /render", s.instrument("render", s.handleRender))
+	m.HandleFunc("POST /filter", s.instrument("filter", s.handleFilter))
+	m.HandleFunc("GET /volumes", s.instrument("volumes", s.handleListVolumes))
+	m.HandleFunc("POST /volumes", s.instrument("volumes", s.handleCreateVolume))
+	m.HandleFunc("PUT /volumes/{name}", s.instrument("volumes", s.handleUploadVolume))
+	m.HandleFunc("GET /version", s.handleVersion)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /readyz", s.handleReadyz)
 	return m
@@ -193,17 +214,27 @@ var errBusy = errors.New("admission queue full")
 
 // admit runs the two-stage gate. On success the caller holds a run slot
 // and must invoke the returned release. errBusy means shed the request;
-// a context error means the deadline expired while queued.
+// a context error means the deadline expired while queued. Each stage
+// of the gate is a trace span — admission.queue is the (non-blocking)
+// queue-token grab, admission.slot the wait for the right to occupy
+// kernel workers — so a 504 is attributable to queueing, not kernels.
 func (s *server) admit(ctx context.Context) (release func(), err error) {
+	t := obs.FromContext(ctx)
+	endQueue := t.Stage("admission.queue")
 	select {
 	case s.queue <- struct{}{}:
+		endQueue()
 	default:
+		endQueue()
 		return nil, errBusy
 	}
+	endSlot := t.Stage("admission.slot")
 	select {
 	case s.run <- struct{}{}:
+		endSlot()
 		return func() { <-s.run; <-s.queue }, nil
 	case <-ctx.Done():
+		endSlot()
 		<-s.queue
 		return nil, ctx.Err()
 	}
@@ -267,8 +298,12 @@ type renderRequest struct {
 
 func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	s.renderReqs.Inc(0)
+	t := obs.FromContext(r.Context())
 	var req renderRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	endDecode := t.Stage("decode")
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
+	endDecode()
+	if err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -314,6 +349,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// render runs at, and the full view/framing parameters. Workers and
 	// deadline are execution knobs — per-pixel compositing is
 	// worker-count-invariant — so they are deliberately absent.
+	endDigest := t.Stage("digest")
 	key := digest(s.nonce, "render", "v1", vol.name, vol.gen, dt,
 		req.View, req.Views, req.Width, req.Height, req.Shade, req.Format)
 	etag := etagFor(key)
@@ -321,11 +357,13 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		// A strong ETag is derived purely from the digest, so a match
 		// can be answered 304 without the entry being resident.
 		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			endDigest()
 			w.Header().Set("ETag", etag)
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
+	endDigest()
 
 	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
 	defer cancel()
@@ -333,10 +371,15 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// renderOnce is the full kernel path — dtype conversion, admission,
 	// raycast, encode — run by exactly one request per digest when the
 	// cache is on. Conversion sits inside so cache hits skip it too.
+	// When it runs it runs on this request's goroutine (rcache leaders
+	// compute inline), so the stage spans land in this request's trace;
+	// a coalesced waiter's trace shows only the enclosing cache stage.
 	renderOnce := func(ctx context.Context) (rcache.Value, error) {
 		g := vol.grid
 		if dt != g.Dtype() {
+			endResolve := t.Stage("resolve")
 			g = g.Convert(dt)
+			endResolve()
 		}
 		release, err := s.admit(ctx)
 		if err != nil {
@@ -347,22 +390,31 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		nx, ny, nz := g.Dims()
 		cam := sfcmem.Orbit(req.View, req.Views, nx, ny, nz, req.Width, req.Height)
-		img, err := s.renderImage(ctx, g, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
+		endKernel := t.Stage("kernel")
+		img, err := s.renderImage(sfcmem.WithWorkObserver(ctx, t.Observer("tile")), g, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
 			Workers: req.Workers,
 			Shade:   req.Shade,
 		})
+		endKernel()
 		if err != nil {
 			return rcache.Value{}, err
 		}
 		s.renderLatency.Observe(time.Since(start))
-		return encodeFrame(img, req.Format)
+		endEncode := t.Stage("encode")
+		v, err := encodeFrame(img, req.Format)
+		endEncode()
+		return v, err
 	}
 
 	var v rcache.Value
 	var out rcache.Outcome
-	var err error
 	if s.cache != nil {
+		// The cache stage wraps lookup, a coalesced wait on another
+		// request's run, or (as leader) the whole renderOnce chain —
+		// the nested spans and the X-Cache disposition tell which.
+		endCache := t.Stage("cache")
 		v, out, err = s.cache.Do(ctx, key, renderOnce)
+		endCache()
 	} else {
 		v, err = renderOnce(ctx)
 	}
@@ -428,8 +480,12 @@ type filterRequest struct {
 
 func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	s.filterReqs.Inc(0)
+	t := obs.FromContext(r.Context())
 	var req filterRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	endDecode := t.Stage("decode")
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
+	endDecode()
+	if err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -489,9 +545,11 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	// name — part of the observable effect (which volume the result
 	// lands in). The destination's *state* cannot live in the key (the
 	// run itself bumps it); it is checked via dstHoldsResult instead.
+	endDigest := t.Stage("digest")
 	key := digest(s.nonce, "filter", "v1", src.name, src.gen, req.Dst, req.Kernel,
 		req.Radius, axis, req.SigmaRange, dt)
 	etag := etagFor(key)
+	endDigest()
 	// dstHoldsResult reports whether the destination volume currently
 	// holds this exact filter run's output. The endpoint's main effect
 	// is mutating dst, so a cached response — or a 304 — is only
@@ -516,7 +574,9 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	filterOnce := func(ctx context.Context) (rcache.Value, error) {
 		srcGrid := src.grid
 		if dt != srcGrid.Dtype() {
+			endResolve := t.Stage("resolve")
 			srcGrid = srcGrid.Convert(dt)
+			endResolve()
 		}
 		release, err := s.admit(ctx)
 		if err != nil {
@@ -526,17 +586,21 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 
 		start := time.Now()
 		dst := sfcmem.NewAnyGrid(srcGrid.Dtype(), srcGrid.Layout())
-		err = kernel(ctx, srcGrid, dst, sfcmem.FilterOptions{
+		endKernel := t.Stage("kernel")
+		err = kernel(sfcmem.WithWorkObserver(ctx, t.Observer("pencil")), srcGrid, dst, sfcmem.FilterOptions{
 			Radius:     req.Radius,
 			Axis:       axis,
 			SigmaRange: req.SigmaRange,
 			Workers:    req.Workers,
 		})
+		endKernel()
 		if err != nil {
 			return rcache.Value{}, err
 		}
 		elapsed := time.Since(start)
 		s.filterLatency.Observe(elapsed)
+		endEncode := t.Stage("encode")
+		defer endEncode()
 		s.store.put(&storedVolume{
 			name:      req.Dst,
 			dataset:   src.dataset + "+" + req.Kernel,
@@ -555,7 +619,6 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 
 	var v rcache.Value
 	var out rcache.Outcome
-	var err error
 	if s.cache != nil {
 		if !dstHoldsResult() {
 			// The response body may still be resident, but dst no longer
@@ -565,7 +628,9 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 			// longer true.
 			s.cache.Invalidate(key)
 		}
+		endCache := t.Stage("cache")
 		v, out, err = s.cache.Do(ctx, key, filterOnce)
+		endCache()
 	} else {
 		v, err = filterOnce(ctx)
 	}

@@ -28,6 +28,7 @@ func testConfig() config {
 		defaultDeadline: 30 * time.Second,
 		maxDeadline:     2 * time.Minute,
 		drainTimeout:    10 * time.Second,
+		accessLog:       io.Discard, // obs tests substitute a buffer
 	}
 }
 

@@ -238,6 +238,7 @@ func BilateralAnyCtx(ctx context.Context, src, dst *AnyGrid, o FilterOptions) er
 	if src.dt != dst.dt {
 		return dtypeMismatch(src, dst)
 	}
+	o = ctxFilterOptions(ctx, o)
 	switch sg := src.g.(type) {
 	case *grid.Grid[uint8]:
 		return filterApplyCtx(ctx, sg, dst.g.(*grid.Grid[uint8]), o)
@@ -257,6 +258,7 @@ func GaussianConvolveAnyCtx(ctx context.Context, src, dst *AnyGrid, o FilterOpti
 	if src.dt != dst.dt {
 		return dtypeMismatch(src, dst)
 	}
+	o = ctxFilterOptions(ctx, o)
 	switch sg := src.g.(type) {
 	case *grid.Grid[uint8]:
 		return gaussCtx(ctx, sg, dst.g.(*grid.Grid[uint8]), o)
@@ -272,6 +274,7 @@ func GaussianConvolveAnyCtx(ctx context.Context, src, dst *AnyGrid, o FilterOpti
 
 // RenderAnyCtx raycasts a dynamic-dtype volume.
 func RenderAnyCtx(ctx context.Context, vol *AnyGrid, cam Camera, tf *TransferFunc, o RenderOptions) (*Image, error) {
+	o = ctxRenderOptions(ctx, o)
 	switch g := vol.g.(type) {
 	case *grid.Grid[uint8]:
 		return renderCtx(ctx, g, cam, tf, o)

@@ -21,26 +21,26 @@ import (
 // BilateralCtx is Bilateral with cooperative cancellation; on
 // cancellation dst is left partially written.
 func BilateralCtx(ctx context.Context, src Reader, dst Writer, o FilterOptions) error {
-	return filter.ApplyCtx(ctx, src, dst, o)
+	return filter.ApplyCtx(ctx, src, dst, ctxFilterOptions(ctx, o))
 }
 
 // BilateralViewsCtx is BilateralViews with cooperative cancellation.
 func BilateralViewsCtx(ctx context.Context, srcs []Reader, dsts []Writer, o FilterOptions) error {
-	return filter.ApplyViewsCtx(ctx, srcs, dsts, o)
+	return filter.ApplyViewsCtx(ctx, srcs, dsts, ctxFilterOptions(ctx, o))
 }
 
 // GaussianConvolveCtx is GaussianConvolve with cooperative cancellation.
 func GaussianConvolveCtx(ctx context.Context, src Reader, dst Writer, o FilterOptions) error {
-	return filter.GaussianConvolveCtx(ctx, src, dst, o)
+	return filter.GaussianConvolveCtx(ctx, src, dst, ctxFilterOptions(ctx, o))
 }
 
 // RenderCtx is Render with cooperative cancellation; a cancelled render
 // returns (nil, ctx's error) and discards the partial frame.
 func RenderCtx(ctx context.Context, vol Reader, cam Camera, tf *TransferFunc, o RenderOptions) (*Image, error) {
-	return render.RenderCtx(ctx, vol, cam, tf, o)
+	return render.RenderCtx(ctx, vol, cam, tf, ctxRenderOptions(ctx, o))
 }
 
 // RenderViewsCtx is RenderViews with cooperative cancellation.
 func RenderViewsCtx(ctx context.Context, views []Reader, cam Camera, tf *TransferFunc, o RenderOptions) (*Image, error) {
-	return render.RenderViewsCtx(ctx, views, cam, tf, o)
+	return render.RenderViewsCtx(ctx, views, cam, tf, ctxRenderOptions(ctx, o))
 }

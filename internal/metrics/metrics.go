@@ -325,6 +325,11 @@ func (f GaugeFunc) Snapshot() any { return f() }
 // Registry is a named collection of metrics. Registration is expected at
 // setup time; Snapshot may be called at any point during a run.
 type Registry struct {
+	// Namespace, when non-empty, prefixes every metric name in the
+	// Prometheus exposition (WritePrometheus) — set it before serving.
+	// The JSON snapshot always uses the bare registry keys.
+	Namespace string
+
 	mu    sync.Mutex
 	byKey map[string]Metric
 }
@@ -416,18 +421,24 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// ServeHTTP serves an indented JSON snapshot of the registry, making it
-// an http.Handler that services can mount directly (cmd/sfcserved mounts
-// one at /metrics on its ops port).
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+// ServeHTTP serves the registry snapshot: indented JSON by default, or
+// text exposition format with ?format=prometheus, so one mount point
+// (cmd/sfcserved's ops-port /metrics) feeds both humans and scrapers.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	// Snapshots are point-in-time by definition; any cache between the
 	// scraper and the process would serve stale counters.
 	w.Header().Set("Cache-Control", "no-store")
-	if err := r.WriteJSON(w); err != nil {
-		// Headers are gone by the time encoding fails; nothing to do
-		// but drop the connection state on the floor.
-		return
+	switch format := req.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		//nolint:errcheck // headers are gone by the time encoding fails
+		r.WriteJSON(w)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//nolint:errcheck // same: nothing to report to after the first byte
+		r.WritePrometheus(w)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json or prometheus)", format), http.StatusBadRequest)
 	}
 }
 

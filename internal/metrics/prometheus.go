@@ -1,0 +1,223 @@
+package metrics
+
+// Prometheus text-format exposition (version 0.0.4) for the registry.
+// The JSON snapshot stays the default — it carries structure (per-worker
+// counter shards, quantile estimates) Prometheus names cannot — but any
+// standard scraper can now consume the same registry:
+//
+//	GET /metrics?format=prometheus
+//
+// Mapping: counters become <name>_total, histograms become
+// <name>_seconds with cumulative `le` buckets derived from the log2
+// nanosecond buckets, phase timers become a pair of labelled counters,
+// Info metrics become the conventional constant-1 gauge with label
+// pairs, and any other metric whose snapshot is a plain number becomes
+// a gauge. Metric names are mangled to the Prometheus charset and
+// prefixed with the registry's Namespace.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Info is a constant set of key/value build- or config-style facts. It
+// snapshots to a JSON object and exposes to Prometheus as the
+// conventional `<name>_info{k="v",...} 1` gauge.
+type Info map[string]string
+
+// Snapshot returns the map itself (it is immutable by convention).
+func (i Info) Snapshot() any { return map[string]string(i) }
+
+// promName mangles a registry key into the Prometheus metric-name
+// charset [a-zA-Z0-9_], prefixing the namespace when set.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promFloat renders a float the way Prometheus clients conventionally
+// do: shortest representation that round-trips.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// writeHeader emits the HELP and TYPE lines for one metric family.
+func writeHeader(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// writePromCounter emits a counter family.
+func writePromCounter(w io.Writer, name, key string, c *Counter) error {
+	if err := writeHeader(w, name, "Total of registry counter "+key+".", "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", name, c.Total())
+	return err
+}
+
+// writePromHistogram emits a histogram family in seconds. The log2
+// nanosecond buckets become cumulative `le` bounds; every bucket up to
+// the highest non-empty one is emitted so the bound set only grows as
+// observations spread, and counts are cumulative and monotone by
+// construction.
+func writePromHistogram(w io.Writer, name, key string, h *Histogram) error {
+	if err := writeHeader(w, name, "Registry histogram "+key+" in seconds.", "histogram"); err != nil {
+		return err
+	}
+	top := 0
+	for b := 0; b < histBuckets; b++ {
+		if h.buckets[b].Load() > 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= top; b++ {
+		cum += h.buckets[b].Load()
+		_, hi := bucketBounds(b)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(hi/1e9), cum); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, count)
+	return err
+}
+
+// writePromPhases emits a phase timer as two labelled counter families.
+func writePromPhases(w io.Writer, name, key string, t *PhaseTimer) error {
+	snap := t.Snapshot().(PhaseTimerSnapshot)
+	if err := writeHeader(w, name+"_seconds_total", "Cumulative time in phases of "+key+".", "counter"); err != nil {
+		return err
+	}
+	for _, p := range snap.Phases {
+		if _, err := fmt.Fprintf(w, "%s_seconds_total{phase=\"%s\"} %s\n", name, promLabel(p.Name), promFloat(p.Seconds)); err != nil {
+			return err
+		}
+	}
+	if err := writeHeader(w, name+"_runs_total", "Completed runs of phases of "+key+".", "counter"); err != nil {
+		return err
+	}
+	for _, p := range snap.Phases {
+		if _, err := fmt.Fprintf(w, "%s_runs_total{phase=\"%s\"} %d\n", name, promLabel(p.Name), p.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromInfo emits the constant-1 info gauge with sorted label pairs.
+func writePromInfo(w io.Writer, name, key string, info map[string]string) error {
+	if err := writeHeader(w, name, "Constant facts from registry entry "+key+".", "gauge"); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(info))
+	for k := range info {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, fmt.Sprintf("%s=\"%s\"", promName("", k), promLabel(info[k])))
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} 1\n", name, strings.Join(pairs, ","))
+	return err
+}
+
+// promNumber coerces a gauge snapshot to float64 when it is any plain
+// numeric type.
+func promNumber(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint:
+		return float64(n), true
+	case uint32:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case float32:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}
+
+// WritePrometheus writes every exposable metric in text exposition
+// format, in sorted name order. Metrics whose snapshot has no
+// Prometheus mapping (arbitrary JSON shapes) are skipped — the JSON
+// endpoint remains the lossless view.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	namespace := r.Namespace
+	names := make([]string, 0, len(r.byKey))
+	for k := range r.byKey {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	ms := make([]Metric, len(names))
+	for i, k := range names {
+		ms[i] = r.byKey[k]
+	}
+	r.mu.Unlock()
+
+	for i, key := range names {
+		name := promName(namespace, key)
+		var err error
+		switch m := ms[i].(type) {
+		case *Counter:
+			err = writePromCounter(w, name+"_total", key, m)
+		case *Histogram:
+			err = writePromHistogram(w, name+"_seconds", key, m)
+		case *PhaseTimer:
+			err = writePromPhases(w, name, key, m)
+		case Info:
+			err = writePromInfo(w, name, key, map[string]string(m))
+		default:
+			if v, ok := promNumber(m.Snapshot()); ok {
+				if err = writeHeader(w, name, "Registry gauge "+key+".", "gauge"); err == nil {
+					_, err = fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewHistogram()
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("single-bucket", func(t *testing.T) {
+		h := NewHistogram()
+		// Three observations in one bucket: len64(100)=7 → (64,128] ns.
+		for i := 0; i < 3; i++ {
+			h.Observe(100 * time.Nanosecond)
+		}
+		lo, hi := bucketBounds(7)
+		for _, q := range []float64{0, 0.5, 1} {
+			got := h.Quantile(q)
+			if got < time.Duration(lo) || got > time.Duration(hi) {
+				t.Errorf("Quantile(%v) = %v, want within (%v, %v]", q, got, time.Duration(lo), time.Duration(hi))
+			}
+		}
+		// q=0 and q=1 are clamped variants of rank 1 and rank n: the
+		// interpolation must keep them ordered.
+		if h.Quantile(0) > h.Quantile(1) {
+			t.Errorf("Quantile(0)=%v > Quantile(1)=%v", h.Quantile(0), h.Quantile(1))
+		}
+	})
+	t.Run("clamping", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(time.Microsecond)
+		h.Observe(time.Millisecond)
+		if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+			t.Errorf("Quantile(-0.5)=%v, want Quantile(0)=%v", got, want)
+		}
+		if got, want := h.Quantile(1.5), h.Quantile(1); got != want {
+			t.Errorf("Quantile(1.5)=%v, want Quantile(1)=%v", got, want)
+		}
+	})
+	t.Run("zero-duration", func(t *testing.T) {
+		h := NewHistogram()
+		h.Observe(0)
+		if got := h.Quantile(1); got > time.Nanosecond {
+			t.Errorf("Quantile(1) after Observe(0) = %v, want <= 1ns", got)
+		}
+	})
+}
+
+// TestWritePrometheusGolden pins the exposition format: HELP/TYPE
+// lines, counter/gauge/info rendering, and the histogram's cumulative
+// le buckets in seconds.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Namespace = "t"
+	c := r.Counter("render.requests", 1)
+	c.Add(0, 7)
+	r.Register("admission.queued", GaugeFunc(func() any { return 3 }))
+	r.Register("build.info", Info{"go_version": "go1.24", "vcs_revision": "abc"})
+	h := r.Histogram("render.latency")
+	h.Observe(100 * time.Nanosecond) // bucket 7: le 128ns
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Microsecond) // bucket 10: le 1024ns
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP t_admission_queued Registry gauge admission.queued.
+# TYPE t_admission_queued gauge
+t_admission_queued 3
+# HELP t_build_info Constant facts from registry entry build.info.
+# TYPE t_build_info gauge
+t_build_info{go_version="go1.24",vcs_revision="abc"} 1
+# HELP t_render_latency_seconds Registry histogram render.latency in seconds.
+# TYPE t_render_latency_seconds histogram
+t_render_latency_seconds_bucket{le="1e-09"} 0
+t_render_latency_seconds_bucket{le="2e-09"} 0
+t_render_latency_seconds_bucket{le="4e-09"} 0
+t_render_latency_seconds_bucket{le="8e-09"} 0
+t_render_latency_seconds_bucket{le="1.6e-08"} 0
+t_render_latency_seconds_bucket{le="3.2e-08"} 0
+t_render_latency_seconds_bucket{le="6.4e-08"} 0
+t_render_latency_seconds_bucket{le="1.28e-07"} 2
+t_render_latency_seconds_bucket{le="2.56e-07"} 2
+t_render_latency_seconds_bucket{le="5.12e-07"} 2
+t_render_latency_seconds_bucket{le="1.024e-06"} 3
+t_render_latency_seconds_bucket{le="+Inf"} 3
+t_render_latency_seconds_sum 1.2e-06
+t_render_latency_seconds_count 3
+# HELP t_render_requests_total Total of registry counter render.requests.
+# TYPE t_render_requests_total counter
+t_render_requests_total 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusBucketMonotonicity checks the structural invariants a
+// scraper depends on: le bounds strictly ascend and cumulative counts
+// never decrease, whatever the histogram contents.
+func TestPrometheusBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, d := range []time.Duration{0, 1, 50, 900, time.Microsecond,
+		37 * time.Microsecond, time.Millisecond, 450 * time.Millisecond, 3 * time.Second} {
+		h.Observe(d)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lastLE := -1.0
+	lastCum := int64(-1)
+	buckets := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket{le=\"") {
+			continue
+		}
+		buckets++
+		rest := strings.TrimPrefix(line, "lat_seconds_bucket{le=\"")
+		leStr, countStr, ok := strings.Cut(rest, "\"} ")
+		if !ok {
+			t.Fatalf("unparsable bucket line %q", line)
+		}
+		cum, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count in %q: %v", line, err)
+		}
+		if cum < lastCum {
+			t.Errorf("cumulative count decreased: %d after %d (%q)", cum, lastCum, line)
+		}
+		lastCum = cum
+		if leStr == "+Inf" {
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("le bound in %q: %v", line, err)
+		}
+		if le <= lastLE {
+			t.Errorf("le bounds not ascending: %g after %g", le, lastLE)
+		}
+		lastLE = le
+	}
+	if buckets == 0 {
+		t.Fatal("no bucket lines found")
+	}
+	if lastCum != 9 {
+		t.Errorf("+Inf cumulative count %d, want 9", lastCum)
+	}
+}
+
+func TestPrometheusPhaseTimer(t *testing.T) {
+	r := NewRegistry()
+	pt := r.PhaseTimer("phases")
+	pt.Add("setup", 2*time.Second)
+	pt.Add("sweep", time.Second)
+	pt.Add("sweep", time.Second)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`phases_seconds_total{phase="setup"} 2`,
+		`phases_seconds_total{phase="sweep"} 2`,
+		`phases_runs_total{phase="sweep"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

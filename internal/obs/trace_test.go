@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	parentID := "00f067aa0ba902b7"
+	good := "00-" + traceID + "-" + parentID + "-01"
+	tid, pid, ok := ParseTraceparent(good)
+	if !ok || tid != traceID || pid != parentID {
+		t.Fatalf("ParseTraceparent(%q) = %q, %q, %v", good, tid, pid, ok)
+	}
+	// Uppercase hex is accepted and normalized.
+	tid, _, ok = ParseTraceparent(strings.ToUpper(good))
+	if !ok || tid != traceID {
+		t.Errorf("uppercase traceparent: %q, %v", tid, ok)
+	}
+	// Flags 00 (unsampled) is valid.
+	if _, _, ok := ParseTraceparent("00-" + traceID + "-" + parentID + "-00"); !ok {
+		t.Error("flags 00 rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"00-" + traceID + "-" + parentID,         // missing flags
+		"ff-" + traceID + "-" + parentID + "-01", // forbidden version
+		"00-" + strings.Repeat("0", 32) + "-" + parentID + "-01", // all-zero trace ID
+		"00-" + traceID + "-" + strings.Repeat("0", 16) + "-01",  // all-zero parent
+		"00-" + traceID[:31] + "-" + parentID + "-01",            // short trace ID
+		"00-" + traceID[:31] + "g-" + parentID + "-01",           // non-hex
+		"0-" + traceID + "-" + parentID + "-01",                  // short version
+		"00-" + traceID + "-" + parentID + "-zz",                 // non-hex flags
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewTraceIdentity(t *testing.T) {
+	inbound := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tr := NewTrace("render", inbound, "req-42")
+	if tr.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("TraceID %q not adopted from traceparent", tr.TraceID)
+	}
+	if tr.ParentID != "00f067aa0ba902b7" {
+		t.Errorf("ParentID %q", tr.ParentID)
+	}
+	if tr.RequestID != "req-42" {
+		t.Errorf("RequestID %q, want inbound value honored", tr.RequestID)
+	}
+	if len(tr.SpanID) != 16 || tr.SpanID == tr.ParentID {
+		t.Errorf("SpanID %q", tr.SpanID)
+	}
+	if want := "00-" + tr.TraceID + "-" + tr.SpanID + "-01"; tr.Traceparent() != want {
+		t.Errorf("Traceparent() = %q, want %q", tr.Traceparent(), want)
+	}
+
+	// No inbound headers: everything minted, never empty or colliding.
+	a, b := NewTrace("render", "", ""), NewTrace("render", "", "")
+	if a.TraceID == b.TraceID || a.RequestID == b.RequestID || a.RequestID == "" {
+		t.Errorf("minted IDs collide: %q/%q %q/%q", a.TraceID, b.TraceID, a.RequestID, b.RequestID)
+	}
+	// Oversized client request IDs are replaced, not stored.
+	if tr := NewTrace("render", "", strings.Repeat("x", 4096)); len(tr.RequestID) > 128 {
+		t.Errorf("oversized request ID kept: %d bytes", len(tr.RequestID))
+	}
+}
+
+func TestStageNestingAndBreakdown(t *testing.T) {
+	tr := NewTrace("render", "", "")
+	endOuter := tr.Stage("cache")
+	endInner := tr.Stage("kernel")
+	time.Sleep(time.Millisecond)
+	endInner()
+	endOuter()
+	end := tr.Stage("encode")
+	end()
+	tr.Finish(200, 10, "miss")
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["cache"].Depth != 0 || byName["encode"].Depth != 0 {
+		t.Errorf("top-level stages at depth %d/%d, want 0", byName["cache"].Depth, byName["encode"].Depth)
+	}
+	if byName["kernel"].Depth != 1 {
+		t.Errorf("nested stage at depth %d, want 1", byName["kernel"].Depth)
+	}
+	names, durs := tr.StageBreakdown()
+	if len(names) != 2 || names[0] != "cache" || names[1] != "encode" {
+		t.Fatalf("breakdown names %v, want [cache encode]", names)
+	}
+	if durs[0] < time.Millisecond {
+		t.Errorf("cache stage %v, want >= 1ms (it enclosed the sleep)", durs[0])
+	}
+	if got := tr.StageDur("kernel"); got < time.Millisecond {
+		t.Errorf("StageDur(kernel) = %v", got)
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	end := tr.Stage("anything")
+	end()
+	if obs := tr.Observer("tile"); obs != nil {
+		t.Error("nil trace Observer != nil")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("FromContext on bare context != nil")
+	}
+}
+
+func TestObserverConcurrentSpansAndCap(t *testing.T) {
+	tr := NewTrace("render", "", "")
+	obs := tr.Observer("tile")
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 100 // 800 > maxSpans: the cap must hold
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				obs(w, i, time.Now(), time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != maxSpans {
+		t.Errorf("%d spans stored, want cap %d", len(spans), maxSpans)
+	}
+	if got, want := tr.Dropped(), uint64(workers*perWorker-maxSpans); got != want {
+		t.Errorf("Dropped() = %d, want %d", got, want)
+	}
+	for i, s := range spans {
+		if s.Name != "tile" || s.Worker < 0 || s.Worker >= workers {
+			t.Fatalf("span %d corrupted: %+v", i, s)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Recent(0); len(got) != 0 {
+		t.Fatalf("empty ring Recent = %d traces", len(got))
+	}
+	var last *Trace
+	for i := 0; i < 10; i++ {
+		last = NewTrace(fmt.Sprintf("r%d", i), "", "")
+		last.Finish(200, 0, "")
+		r.Add(last)
+	}
+	recent := r.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent(0) = %d traces, want 4 (ring size)", len(recent))
+	}
+	if recent[0] != last {
+		t.Errorf("most recent trace is %q, want %q", recent[0].Route, last.Route)
+	}
+	if got := r.Recent(2); len(got) != 2 || got[0] != last {
+		t.Errorf("Recent(2) = %d traces, first %q", len(got), got[0].Route)
+	}
+}
+
+func TestInflightLifecycle(t *testing.T) {
+	f := NewInflight()
+	a := NewTrace("render", "", "")
+	b := NewTrace("filter", "", "")
+	f.Add(a)
+	f.Add(b)
+	if got := f.Snapshot(); len(got) != 2 {
+		t.Fatalf("%d in flight, want 2", len(got))
+	}
+	f.Remove(a)
+	got := f.Snapshot()
+	if len(got) != 1 || got[0] != b {
+		t.Fatalf("after remove: %d in flight", len(got))
+	}
+}
+
+func TestHubFinishEmitsAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewHub(&buf, 8)
+	h.SlowThreshold = time.Nanosecond // everything is an outlier
+
+	tr, ctx := h.Start(context.Background(), "render", httptest.NewRequest("POST", "/render", nil).Header)
+	if FromContext(ctx) != tr {
+		t.Fatal("Start did not thread the trace through the context")
+	}
+	end := tr.Stage("kernel")
+	time.Sleep(time.Millisecond)
+	end()
+	h.Finish(tr, 200, 1234, "miss")
+
+	dec := json.NewDecoder(&buf)
+	var access map[string]any
+	if err := dec.Decode(&access); err != nil {
+		t.Fatalf("access log line: %v", err)
+	}
+	if access["msg"] != "request" || access["request_id"] != tr.RequestID ||
+		access["trace_id"] != tr.TraceID || access["status"] != float64(200) ||
+		access["bytes"] != float64(1234) || access["cache"] != "miss" {
+		t.Errorf("access record %v", access)
+	}
+	stages, ok := access["stages"].(map[string]any)
+	if !ok || stages["kernel"] == nil {
+		t.Errorf("stages group %v, want kernel entry", access["stages"])
+	}
+	var slow map[string]any
+	if err := dec.Decode(&slow); err != nil {
+		t.Fatalf("slow log line: %v", err)
+	}
+	if slow["msg"] != "slow request" || slow["spans"] == nil {
+		t.Errorf("slow record %v", slow)
+	}
+	if got := h.Ring().Recent(0); len(got) != 1 || got[0] != tr {
+		t.Errorf("ring does not hold the finished trace")
+	}
+	if got := len(NewInflight().Snapshot()); got != 0 {
+		t.Errorf("fresh inflight non-empty: %d", got)
+	}
+}
+
+func TestHubHandlers(t *testing.T) {
+	h := NewHub(bytes.NewBuffer(nil), 8)
+	tr, _ := h.Start(context.Background(), "render", httptest.NewRequest("POST", "/render", nil).Header)
+	end := tr.Stage("kernel")
+
+	// In-flight listing shows the live request and its current stage.
+	rec := httptest.NewRecorder()
+	h.HandleInflight(rec, httptest.NewRequest("GET", "/ops/requests", nil))
+	var inflight []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &inflight); err != nil {
+		t.Fatalf("/ops/requests: %v", err)
+	}
+	if len(inflight) != 1 || inflight[0]["stage"] != "kernel" || inflight[0]["request_id"] != tr.RequestID {
+		t.Fatalf("/ops/requests = %v", inflight)
+	}
+
+	end()
+	tr.Observer("tile")(2, 0, time.Now(), time.Millisecond)
+	h.Finish(tr, 200, 9, "")
+
+	// Recent traces export as a Chrome trace with request, stage and
+	// worker events.
+	rec = httptest.NewRecorder()
+	h.HandleRecent(rec, httptest.NewRequest("GET", "/ops/trace/recent", nil))
+	var ct struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ct); err != nil {
+		t.Fatalf("/ops/trace/recent: %v", err)
+	}
+	var sawRequest, sawStage, sawWorker bool
+	for _, e := range ct.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Cat == "request":
+			sawRequest = e.Args["request_id"] == tr.RequestID
+		case e.Ph == "X" && e.Cat == "stage" && e.Name == "kernel":
+			sawStage = true
+		case e.Ph == "X" && e.Cat == "kernel" && e.TID == 3: // worker 2 → lane 3
+			sawWorker = true
+		}
+	}
+	if !sawRequest || !sawStage || !sawWorker {
+		t.Errorf("trace export missing events: request=%v stage=%v worker=%v\n%s",
+			sawRequest, sawStage, sawWorker, rec.Body.String())
+	}
+
+	// Bad n is rejected.
+	rec = httptest.NewRecorder()
+	h.HandleRecent(rec, httptest.NewRequest("GET", "/ops/trace/recent?n=x", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n: status %d, want 400", rec.Code)
+	}
+}
+
+func TestNilHubShortCircuits(t *testing.T) {
+	var h *Hub
+	tr, ctx := h.Start(context.Background(), "render", httptest.NewRequest("POST", "/", nil).Header)
+	if tr != nil || ctx == nil {
+		t.Fatalf("nil hub Start = %v, %v", tr, ctx)
+	}
+	h.Finish(tr, 200, 0, "") // must not panic
+	if h.Ring() != nil {
+		t.Error("nil hub Ring() != nil")
+	}
+	h.Logger().Info("dropped") // must not panic
+}
+
+// BenchmarkRequestEnvelope measures the full per-request tracing cost
+// that -obs-off removes: trace allocation and ID minting, the stage
+// spans of a typical render, per-tile observer callbacks, and Finish
+// (ring publication plus the slog access-log record). This is the
+// numerator of the overhead delta recorded in DESIGN.md §11.
+func BenchmarkRequestEnvelope(b *testing.B) {
+	h := NewHub(io.Discard, 0)
+	hdr := http.Header{}
+	hdr.Set("X-Request-Id", "bench-1")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, _ := h.Start(ctx, "render", hdr)
+		for _, stage := range []string{"decode", "digest", "cache", "resolve", "kernel", "encode"} {
+			t.Stage(stage)()
+		}
+		obs := t.Observer("tile")
+		now := time.Now()
+		for tile := 0; tile < 4; tile++ {
+			obs(tile%2, tile, now, time.Millisecond)
+		}
+		h.Finish(t, 200, 4096, "miss")
+	}
+}

@@ -157,6 +157,57 @@ type chromeTrace struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// TraceJSON assembles a Chrome trace_event file event by event — the
+// low-level builder behind Recorder.WriteChromeTrace, exported so other
+// layers (internal/obs request span-trees) emit the same format the
+// kernel timelines use and the two open in the same Perfetto session.
+// Not safe for concurrent use; build, then Write.
+type TraceJSON struct {
+	events []traceEvent
+}
+
+// NewTraceJSON returns an empty trace file builder.
+func NewTraceJSON() *TraceJSON { return &TraceJSON{} }
+
+// Process records a process_name metadata event naming pid's row.
+func (t *TraceJSON) Process(pid int, name string) {
+	t.events = append(t.events, traceEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Thread records a thread_name metadata event naming (pid, tid)'s lane.
+func (t *TraceJSON) Thread(pid, tid int, name string) {
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Complete records a finished span ("X" event) on (pid, tid). Viewers
+// nest complete events on the same lane by time containment, so a stage
+// span that encloses another renders as its parent.
+func (t *TraceJSON) Complete(pid, tid int, name, cat string, start, dur time.Duration, args map[string]any) {
+	d := micros(dur)
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: micros(start), Dur: &d,
+		PID: pid, TID: tid, Args: args,
+	})
+}
+
+// Len returns the number of events recorded so far, metadata included.
+func (t *TraceJSON) Len() int { return len(t.events) }
+
+// Write emits the trace container JSON.
+func (t *TraceJSON) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(chromeTrace{
+		TraceEvents:     t.events,
+		DisplayTimeUnit: "ms",
+	})
+}
+
 const tracePID = 1
 
 // WriteChromeTrace writes the recorded events as Chrome trace_event JSON
@@ -164,38 +215,19 @@ const tracePID = 1
 // at chrome://tracing or ui.perfetto.dev.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	events := r.Events()
-	ct := chromeTrace{
-		TraceEvents:     make([]traceEvent, 0, len(events)+1+len(events)/8),
-		DisplayTimeUnit: "ms",
-	}
-	ct.TraceEvents = append(ct.TraceEvents, traceEvent{
-		Name: "process_name", Ph: "M", PID: tracePID,
-		Args: map[string]any{"name": "sfcmem"},
-	})
+	tj := NewTraceJSON()
+	tj.Process(tracePID, "sfcmem")
 	for _, wk := range r.Workers() {
-		ct.TraceEvents = append(ct.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", PID: tracePID, TID: wk,
-			Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
-		})
+		tj.Thread(tracePID, wk, fmt.Sprintf("worker %d", wk))
 	}
 	for _, e := range events {
-		dur := micros(e.Dur)
-		te := traceEvent{
-			Name: e.Name,
-			Cat:  "sfcmem",
-			Ph:   "X",
-			TS:   micros(e.Start),
-			Dur:  &dur,
-			PID:  tracePID,
-			TID:  e.Worker,
-		}
+		var args map[string]any
 		if e.Item >= 0 {
-			te.Args = map[string]any{"item": e.Item}
+			args = map[string]any{"item": e.Item}
 		}
-		ct.TraceEvents = append(ct.TraceEvents, te)
+		tj.Complete(tracePID, e.Worker, e.Name, "sfcmem", e.Start, e.Dur, args)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(ct)
+	return tj.Write(w)
 }
 
 // micros converts a duration to trace-format microseconds, keeping

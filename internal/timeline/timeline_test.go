@@ -164,3 +164,44 @@ func TestMicros(t *testing.T) {
 		t.Errorf("micros = %v, want 1.5", got)
 	}
 }
+
+func TestTraceJSONBuilder(t *testing.T) {
+	tj := NewTraceJSON()
+	tj.Process(2, "render abc")
+	tj.Thread(2, 0, "request")
+	tj.Complete(2, 0, "kernel", "stage", 5*time.Millisecond, 2*time.Millisecond, map[string]any{"k": "v"})
+	if tj.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", tj.Len())
+	}
+	var buf bytes.Buffer
+	if err := tj.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("not valid trace JSON: %v", err)
+	}
+	if ct.DisplayTimeUnit != "ms" || len(ct.TraceEvents) != 3 {
+		t.Fatalf("container %+v", ct)
+	}
+	x := ct.TraceEvents[2]
+	if x.Ph != "X" || x.Name != "kernel" || x.PID != 2 || x.TID != 0 ||
+		x.TS != 5000 || x.Dur != 2000 || x.Args["k"] != "v" {
+		t.Errorf("complete event %+v", x)
+	}
+	meta := ct.TraceEvents[0]
+	if meta.Ph != "M" || meta.Args["name"] != "render abc" {
+		t.Errorf("process metadata %+v", meta)
+	}
+}
