@@ -1,0 +1,726 @@
+package main
+
+// End-to-end coverage of the /jobs API: progressive SSE delivery
+// (coarse frame strictly before the full render completes), batching
+// of compatible jobs, byte-identity of batched output with the sync
+// path, cancellation mid-refine releasing admission slots, mixed-
+// priority concurrent load, and drain semantics — all meant to run
+// under -race.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image/png"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sfcmem"
+	"sfcmem/internal/jobs"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	id    string
+	event string
+	data  []byte
+}
+
+// readSSE parses the next event off an SSE stream.
+func readSSE(br *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	var data [][]byte
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if ev.event != "" || len(data) > 0 {
+				ev.data = bytes.Join(data, []byte("\n"))
+				return ev, nil
+			}
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "id: "); ok {
+			ev.id = v
+		}
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			ev.event = v
+		}
+		if v, ok := strings.CutPrefix(line, "data: "); ok {
+			data = append(data, []byte(v))
+		}
+	}
+}
+
+// submitJob posts a job and returns its ID.
+func submitJob(t *testing.T, base string, body jobRequest) string {
+	t.Helper()
+	resp := postJSON(t, base+"/jobs", body)
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d body %s", resp.StatusCode, b)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(b, &acc); err != nil || acc.ID == "" {
+		t.Fatalf("POST /jobs response %s (err %v)", b, err)
+	}
+	return acc.ID
+}
+
+// jobState fetches GET /jobs/{id} and returns the state.
+func jobState(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return string(st.State)
+}
+
+// gatedFullRender passes the first render call (the coarse pass)
+// straight through and parks every later one until released, so tests
+// can hold a job mid-refine deterministically.
+type gatedFullRender struct {
+	calls   atomic.Int32
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGatedFullRender() *gatedFullRender {
+	return &gatedFullRender{entered: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (h *gatedFullRender) render(ctx context.Context, vol *sfcmem.AnyGrid, cam sfcmem.Camera, tf *sfcmem.TransferFunc, o sfcmem.RenderOptions) (*sfcmem.Image, error) {
+	if h.calls.Add(1) >= 2 {
+		h.entered <- struct{}{}
+		select {
+		case <-h.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return sfcmem.RenderAnyCtx(ctx, vol, cam, tf, o)
+}
+
+// TestJobProgressiveSSE drives one render job end to end over SSE and
+// pins the progressive contract: the coarse frame is delivered while
+// the full-resolution render is still running, then the refined frame
+// arrives, byte-identical to what a synchronous /render of the same
+// parameters produces.
+func TestJobProgressiveSSE(t *testing.T) {
+	cfg := testConfig()
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := newGatedFullRender()
+	a.srv.renderImage = hook.render
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+	base := "http://" + a.apiAddr()
+
+	req := renderRequest{Volume: "demo", View: 3, Views: 8, Width: 48, Height: 48, Workers: 2}
+	id := submitJob(t, base, jobRequest{Render: &req})
+
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	var got []string
+	var coarse, refined frameEvent
+	readUntil := func(typ string) {
+		t.Helper()
+		for {
+			ev, err := readSSE(br)
+			if err != nil {
+				t.Fatalf("SSE stream ended early (after %v): %v", got, err)
+			}
+			got = append(got, ev.event)
+			switch ev.event {
+			case "coarse":
+				if err := json.Unmarshal(ev.data, &coarse); err != nil {
+					t.Fatal(err)
+				}
+			case "refined":
+				if err := json.Unmarshal(ev.data, &refined); err != nil {
+					t.Fatal(err)
+				}
+			case "failed":
+				t.Fatalf("job failed: %s", ev.data)
+			}
+			if ev.event == typ {
+				return
+			}
+		}
+	}
+
+	// The coarse frame must arrive while the full render is parked in
+	// the hook — progressive delivery, not an afterthought.
+	readUntil("coarse")
+	<-hook.entered
+	if st := jobState(t, base, id); st != "running" {
+		t.Fatalf("job state %q after coarse frame, want running (full render still in flight)", st)
+	}
+	if coarse.Level != 2 || coarse.Width != 16 || coarse.Height != 16 {
+		t.Errorf("coarse frame level %d %dx%d, want level 2 at 16x16 (48>>2 clamped)", coarse.Level, coarse.Width, coarse.Height)
+	}
+	cpix, err := base64.StdEncoding.DecodeString(coarse.Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cimg, err := png.Decode(bytes.NewReader(cpix))
+	if err != nil {
+		t.Fatalf("coarse frame is not a PNG: %v", err)
+	}
+	if b := cimg.Bounds(); b.Dx() != coarse.Width || b.Dy() != coarse.Height {
+		t.Errorf("coarse PNG %dx%d does not match event metadata %dx%d", b.Dx(), b.Dy(), coarse.Width, coarse.Height)
+	}
+
+	close(hook.release)
+	readUntil("done")
+	want := []string{"queued", "batched", "coarse", "refined", "done"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("event sequence %v, want %v", got, want)
+	}
+
+	// Byte identity with the sync path (cache off in testConfig, so
+	// this render recomputes from scratch).
+	rpix, err := base64.StdEncoding.DecodeString(refined.Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp := postJSON(t, base+"/render", req)
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("sync render: status %d", sresp.StatusCode)
+	}
+	if !bytes.Equal(rpix, sbody) {
+		t.Errorf("refined frame (%d bytes) differs from sync render (%d bytes)", len(rpix), len(sbody))
+	}
+
+	// Re-subscribing after completion replays the full history.
+	resp2, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br2 := bufio.NewReader(resp2.Body)
+	var replay []string
+	for {
+		ev, err := readSSE(br2)
+		if err != nil {
+			t.Fatalf("replay ended early: %v", err)
+		}
+		replay = append(replay, ev.event)
+		if ev.event == "done" {
+			break
+		}
+	}
+	resp2.Body.Close()
+	if fmt.Sprint(replay) != fmt.Sprint(want) {
+		t.Errorf("replayed sequence %v, want %v", replay, want)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("app.run: %v", err)
+	}
+}
+
+// TestJobBatchBurst submits a burst of 8 compatible jobs and checks
+// they coalesce into at most 2 batches sharing setup, every output is
+// byte-identical to its synchronous equivalent, and the final frames
+// land in the response cache under the sync digests.
+func TestJobBatchBurst(t *testing.T) {
+	cfg := testConfig()
+	cfg.cacheBytes = 1 << 20
+	cfg.jobLinger = 50 * time.Millisecond // generous window so the burst lands in one linger
+	a, _, _ := startApp(t, cfg)
+	base := "http://" + a.apiAddr()
+
+	const n = 8
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		req := renderRequest{Volume: "demo", View: i, Views: n, Width: 32, Height: 32, Workers: 1}
+		ids[i] = submitJob(t, base, jobRequest{Render: &req})
+	}
+	for i, id := range ids {
+		waitFor(t, fmt.Sprintf("job %d terminal", i), func() bool {
+			st := jobState(t, base, id)
+			return st == "done" || st == "failed" || st == "cancelled"
+		})
+		if st := jobState(t, base, id); st != "done" {
+			t.Fatalf("job %d: state %s", i, st)
+		}
+	}
+	st := a.srv.jobs.Stats()
+	if st.Batches > 2 {
+		t.Errorf("burst of %d compatible jobs ran as %d batches, want <= 2", n, st.Batches)
+	}
+	if st.Done != n {
+		t.Errorf("done %d, want %d", st.Done, n)
+	}
+
+	// Each job warmed the cache under the digest a sync request
+	// computes: every one of these must be a hit, and the bytes must
+	// match a batched job's output exactly.
+	for i := 0; i < n; i++ {
+		req := renderRequest{Volume: "demo", View: i, Views: n, Width: 32, Height: 32, Workers: 1}
+		resp := postJSON(t, base+"/render", req)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sync render %d: status %d", i, resp.StatusCode)
+		}
+		if out := resp.Header.Get("X-Cache"); out != "hit" {
+			t.Errorf("sync render %d after job: X-Cache %q, want hit (job should have warmed the cache)", i, out)
+		}
+		if _, err := png.Decode(bytes.NewReader(body)); err != nil {
+			t.Errorf("cached frame %d is not a PNG: %v", i, err)
+		}
+	}
+}
+
+// TestJobCancelMidRefineFreesSlot parks a job in its full-resolution
+// pass, cancels it over the API, and checks the kernel aborts, the
+// terminal state is cancelled, and the admission slot is released for
+// new work.
+func TestJobCancelMidRefineFreesSlot(t *testing.T) {
+	cfg := testConfig()
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := newGatedFullRender()
+	hook.calls.Store(1) // no coarse pass in this job: gate the very first call
+	a.srv.renderImage = hook.render
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+	base := "http://" + a.apiAddr()
+
+	zero := 0
+	req := renderRequest{Volume: "demo", Views: 8, Width: 32, Height: 32, Workers: 1}
+	id := submitJob(t, base, jobRequest{Render: &req, CoarseLevel: &zero})
+	<-hook.entered // parked mid-refine, holding an admission slot
+	if got := len(a.srv.run); got != 1 {
+		t.Fatalf("run slots held %d, want 1", got)
+	}
+
+	dreq, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /jobs/%s: status %d", id, dresp.StatusCode)
+	}
+	waitFor(t, "job cancelled", func() bool { return jobState(t, base, id) == "cancelled" })
+	waitFor(t, "admission slot freed", func() bool { return len(a.srv.run) == 0 })
+	if got := a.srv.jobs.Stats().Cancelled; got != 1 {
+		t.Errorf("cancelled counter %d, want 1", got)
+	}
+
+	// The freed slot serves new work: a sync render (not gated — the
+	// hook only parks calls 2+, and the cancelled job consumed call 2).
+	hook.calls.Store(-1000)
+	resp := postJSON(t, base+"/render", req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("render after cancel: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("app.run: %v", err)
+	}
+}
+
+// TestJobsMixedPriorityConcurrent is the -race soak the issue asks
+// for: 32 concurrent jobs across both lanes, mixed render/filter,
+// some cancelled mid-flight; every job must reach a terminal state and
+// none may fail.
+func TestJobsMixedPriorityConcurrent(t *testing.T) {
+	cfg := testConfig()
+	cfg.cacheBytes = 1 << 20
+	a, _, _ := startApp(t, cfg)
+	base := "http://" + a.apiAddr()
+
+	const n = 32
+	type outcome struct {
+		id    string
+		state string
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			var body jobRequest
+			if i%2 == 0 {
+				body.Priority = "bulk"
+			}
+			if i%8 == 7 {
+				body.Filter = &filterRequest{Src: "demo", Dst: fmt.Sprintf("f%d", i), Kernel: "gaussian", Radius: 1, Workers: 1}
+			} else {
+				body.Render = &renderRequest{Volume: "demo", View: i % 4, Views: 8, Width: 24, Height: 24, Workers: 1}
+			}
+			id := submitJob(t, base, body)
+			if i%5 == 0 {
+				dreq, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+				if dresp, err := http.DefaultClient.Do(dreq); err == nil {
+					dresp.Body.Close()
+				}
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for time.Now().Before(deadline) {
+				st := jobState(t, base, id)
+				if st == "done" || st == "failed" || st == "cancelled" {
+					results <- outcome{id, st}
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			results <- outcome{id, "stuck"}
+		}(i)
+	}
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		o := <-results
+		counts[o.state]++
+		if o.state == "stuck" || o.state == "failed" {
+			t.Errorf("job %s ended %s", o.id, o.state)
+		}
+	}
+	if counts["done"]+counts["cancelled"] != n {
+		t.Errorf("outcomes %v, want %d done+cancelled", counts, n)
+	}
+	st := a.srv.jobs.Stats()
+	if st.Submitted != n {
+		t.Errorf("submitted %d, want %d", st.Submitted, n)
+	}
+
+	// The jobs.* metrics family is live on the ops listener.
+	resp, err := http.Get("http://" + a.opsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"jobs.submitted", "jobs.done", "jobs.batches", "jobs.pending", "jobs.ttfb"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("/metrics missing %q", key)
+		}
+	}
+}
+
+// TestJobDrainCompletesQueuedWork submits jobs still lingering in a
+// pending batch and immediately begins shutdown: the drain must seal
+// and run them to completion, and run() must exit clean.
+func TestJobDrainCompletesQueuedWork(t *testing.T) {
+	cfg := testConfig()
+	cfg.jobLinger = time.Hour // only the drain can seal the batch
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+	base := "http://" + a.apiAddr()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		req := renderRequest{Volume: "demo", View: i, Views: 8, Width: 24, Height: 24, Workers: 1}
+		ids = append(ids, submitJob(t, base, jobRequest{Render: &req}))
+	}
+	cancel() // SIGTERM equivalent
+	if err := <-done; err != nil {
+		t.Fatalf("app.run during drain: %v", err)
+	}
+	for _, id := range ids {
+		j, ok := a.srv.jobs.Get(id)
+		if !ok {
+			t.Fatalf("job %s evicted during drain", id)
+		}
+		if j.State() != jobs.StateDone {
+			t.Errorf("job %s drained to %s, want done", id, j.State())
+		}
+	}
+}
+
+// TestJobDrainTimeoutFailsCleanly parks a job in its kernel with a
+// short drain budget: shutdown must cancel the kernel through the job
+// context, mark the job failed (not leave it running), and report the
+// timeout.
+func TestJobDrainTimeoutFailsCleanly(t *testing.T) {
+	cfg := testConfig()
+	cfg.drainTimeout = 300 * time.Millisecond
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := newGatedFullRender()
+	hook.calls.Store(1) // gate the first render call
+	a.srv.renderImage = hook.render
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+	base := "http://" + a.apiAddr()
+
+	zero := 0
+	req := renderRequest{Volume: "demo", Views: 8, Width: 24, Height: 24, Workers: 1}
+	id := submitJob(t, base, jobRequest{Render: &req, CoarseLevel: &zero})
+	<-hook.entered
+
+	cancel()
+	err = <-done
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with stuck job returned %v, want deadline exceeded", err)
+	}
+	j, ok := a.srv.jobs.Get(id)
+	if !ok {
+		t.Fatal("job evicted")
+	}
+	if j.State() != jobs.StateFailed {
+		t.Errorf("stuck job drained to %s, want failed", j.State())
+	}
+}
+
+// TestSSEDisconnectCancelsJob drops the event stream while the job is
+// mid-refine: the watcher hanging up must cancel the kernel, mirroring
+// the sync path where a dropped connection aborts the render.
+func TestSSEDisconnectCancelsJob(t *testing.T) {
+	cfg := testConfig()
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := newGatedFullRender()
+	hook.calls.Store(1)
+	a.srv.renderImage = hook.render
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+	base := "http://" + a.apiAddr()
+
+	zero := 0
+	req := renderRequest{Volume: "demo", Views: 8, Width: 24, Height: 24, Workers: 1}
+	id := submitJob(t, base, jobRequest{Render: &req, CoarseLevel: &zero})
+
+	sctx, scancel := context.WithCancel(context.Background())
+	sreq, _ := http.NewRequestWithContext(sctx, http.MethodGet, base+"/jobs/"+id+"/events", nil)
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-hook.entered // job is mid-refine with a live watcher
+	scancel()      // watcher hangs up
+	sresp.Body.Close()
+	waitFor(t, "job cancelled by disconnect", func() bool { return jobState(t, base, id) == "cancelled" })
+	waitFor(t, "admission slot freed", func() bool { return len(a.srv.run) == 0 })
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("app.run: %v", err)
+	}
+}
+
+// TestStatusWriterForwardsFlush pins the bugfix: the instrumentation
+// wrapper must not hide the underlying http.Flusher, or SSE events sit
+// in the server buffer until the handler returns.
+func TestStatusWriterForwardsFlush(t *testing.T) {
+	var _ http.Flusher = (*statusWriter)(nil) // compile-time-style assertion
+
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	fmt.Fprint(sw, "data: x\n\n")
+	sw.Flush()
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if sw.status() != http.StatusOK {
+		t.Errorf("status after flush %d, want 200", sw.status())
+	}
+	// http.NewResponseController must find the flusher through the
+	// wrapper (directly or via Unwrap) without ErrNotSupported.
+	rc := http.NewResponseController(sw)
+	if err := rc.Flush(); err != nil {
+		t.Errorf("ResponseController.Flush: %v", err)
+	}
+}
+
+// TestRetryAfterDerivedFromBacklog pins the 429 Retry-After header to
+// the backlog estimate (queue occupancy × mean latency / slots)
+// instead of the old hardcoded 1 second.
+func TestRetryAfterDerivedFromBacklog(t *testing.T) {
+	cfg := testConfig()
+	cfg.slots, cfg.queueDepth = 1, 1
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := newBlockingHook()
+	a.srv.renderImage = hook.render
+	// Seed the latency evidence: one completed request took 4s. With
+	// a full queue (2 occupants) and 1 slot, the estimate is 2*4s = 8s.
+	a.srv.renderLatency.Observe(4 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+
+	url := "http://" + a.apiAddr() + "/render"
+	req := renderRequest{Volume: "demo", Views: 8, Width: 16, Height: 16, Workers: 1}
+	statuses := make(chan int, 2)
+	do := func() {
+		resp := postJSON(t, url, req)
+		resp.Body.Close()
+		statuses <- resp.StatusCode
+	}
+	go do() // takes the run slot
+	<-hook.entered
+	go do() // takes the queue slot
+	waitFor(t, "queue saturated", func() bool { return len(a.srv.queue) == 2 })
+
+	resp := postJSON(t, url, req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "8" {
+		t.Errorf("Retry-After %q, want \"8\" (2 queued x 4s mean / 1 slot)", got)
+	}
+
+	close(hook.release)
+	for i := 0; i < 2; i++ {
+		<-statuses
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("app.run: %v", err)
+	}
+}
+
+// TestJobValidation covers the /jobs request-surface error paths.
+func TestJobValidation(t *testing.T) {
+	a, _, _ := startApp(t, testConfig())
+	base := "http://" + a.apiAddr()
+	bad := []jobRequest{
+		{},                         // no op body at all
+		{Op: "render"},             // op without its body
+		{Op: "compress"},           // unknown op
+		{Priority: "urgent", Render: &renderRequest{Volume: "demo"}},             // bad lane
+		{Render: &renderRequest{Volume: "nope", Views: 8}},                       // unknown volume (404 below)
+		{CoarseLevel: ptr(9), Render: &renderRequest{Volume: "demo", Views: 8}},  // coarse level out of range
+		{Filter: &filterRequest{Src: "demo", Kernel: "median"}},                  // bad kernel
+	}
+	wants := []int{400, 400, 400, 400, 404, 400, 400}
+	for i, b := range bad {
+		resp := postJSON(t, base+"/jobs", b)
+		resp.Body.Close()
+		if resp.StatusCode != wants[i] {
+			t.Errorf("case %d (%+v): status %d, want %d", i, b, resp.StatusCode, wants[i])
+		}
+	}
+	// Unknown job ID on every /jobs/{id} verb.
+	resp, err := http.Get(base + "/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/jobs/deadbeef/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("events of unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFilterJobMatchesSync runs a filter as a job and checks the
+// destination volume appears and a subsequent identical sync /filter
+// is answered from the cache without rerunning the kernel.
+func TestFilterJobMatchesSync(t *testing.T) {
+	cfg := testConfig()
+	cfg.cacheBytes = 1 << 20
+	a, _, _ := startApp(t, cfg)
+	base := "http://" + a.apiAddr()
+
+	freq := filterRequest{Src: "demo", Dst: "demo.j", Kernel: "gaussian", Radius: 1, Workers: 1}
+	id := submitJob(t, base, jobRequest{Filter: &freq, Priority: "bulk"})
+	waitFor(t, "filter job done", func() bool { return jobState(t, base, id) == "done" })
+
+	// The destination volume is in the store.
+	resp, err := http.Get(base + "/volumes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vols []volumeInfo
+	if err := json.NewDecoder(resp.Body).Decode(&vols); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, v := range vols {
+		found = found || v.Name == "demo.j"
+	}
+	if !found {
+		t.Fatal("filter job did not store its destination volume")
+	}
+
+	// Sync /filter with identical parameters hits the job's cached
+	// response (the store still holds the job's output).
+	sresp := postJSON(t, base+"/filter", freq)
+	body, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("sync filter: status %d body %s", sresp.StatusCode, body)
+	}
+	if out := sresp.Header.Get("X-Cache"); out != "hit" {
+		t.Errorf("sync filter after job: X-Cache %q, want hit", out)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

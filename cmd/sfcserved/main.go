@@ -18,6 +18,15 @@
 // Replacing a volume via PUT bumps its generation, which strands every
 // cached result for the old contents.
 //
+// POST /jobs runs the same render/filter work asynchronously with
+// progressive delivery: a job streams a coarse preview frame (the
+// multiresolution subsample) over SSE (GET /jobs/{id}/events) before
+// the full-resolution refinement, compatible jobs batch together to
+// share dtype conversion and subsample setup (-job-batch, -job-linger),
+// and an interactive lane preempts bulk work at every dispatch.
+// DELETE /jobs/{id} (or a dropped SSE connection) cancels through the
+// kernels' context plumbing.
+//
 // Every render/filter/volumes request runs under a request-scoped
 // trace: the service accepts W3C traceparent, always answers with an
 // X-Request-Id, and records a span per stage (admission queue and slot
@@ -55,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"sfcmem/internal/jobs"
 	"sfcmem/internal/metrics"
 	"sfcmem/internal/obs"
 )
@@ -71,6 +81,8 @@ type config struct {
 	slots           int
 	queueDepth      int
 	cacheBytes      int64
+	jobBatch        int
+	jobLinger       time.Duration
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
 	drainTimeout    time.Duration
@@ -109,6 +121,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	fs.IntVar(&cfg.slots, "slots", 2, "requests running kernels concurrently")
 	fs.IntVar(&cfg.queueDepth, "queue", 8, "admitted requests waiting beyond the running ones; overflow gets 429")
 	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "render/filter response cache budget in bytes; 0 disables caching and request coalescing")
+	fs.IntVar(&cfg.jobBatch, "job-batch", 8, "jobs per batch before a pending /jobs batch runs immediately")
+	fs.DurationVar(&cfg.jobLinger, "job-linger", 25*time.Millisecond, "how long a pending /jobs batch waits for compatible company before running")
 	fs.DurationVar(&cfg.defaultDeadline, "deadline", 30*time.Second, "per-request deadline when the request sets none")
 	fs.DurationVar(&cfg.maxDeadline, "max-deadline", 2*time.Minute, "upper bound on client-requested deadlines")
 	fs.DurationVar(&cfg.drainTimeout, "drain", 30*time.Second, "how long shutdown waits for in-flight requests")
@@ -167,6 +181,10 @@ func newApp(cfg config) (*app, error) {
 	reg.Namespace = "sfcserved"
 	srv := newServer(store, reg, cfg.slots, cfg.queueDepth, cfg.defaultDeadline, cfg.maxDeadline)
 	srv.enableCache(cfg.cacheBytes)
+	// Runner count tracks -slots: each running job holds one admission
+	// run slot for its kernel passes, so more runners than slots would
+	// only park batches in the admission queue.
+	srv.enableJobs(jobs.Config{MaxBatch: cfg.jobBatch, Linger: cfg.jobLinger, Runners: cfg.slots})
 	if !cfg.obsOff {
 		logw := cfg.accessLog
 		if logw == nil {
@@ -247,7 +265,17 @@ func (a *app) shutdown() error {
 	a.srv.draining.Store(true)
 	dctx, cancel := context.WithTimeout(context.Background(), a.cfg.drainTimeout)
 	defer cancel()
-	err := a.api.Shutdown(dctx)
+	// Jobs drain before the API server: queued jobs run to completion
+	// (or fail cleanly when the timeout expires and their kernels are
+	// cancelled), their SSE watchers see terminal events and return,
+	// and only then does Shutdown wait on the remaining connections.
+	var err error
+	if a.srv.jobs != nil {
+		err = a.srv.jobs.Drain(dctx)
+	}
+	if apiErr := a.api.Shutdown(dctx); err == nil {
+		err = apiErr
+	}
 	if opsErr := a.ops.Shutdown(dctx); err == nil {
 		err = opsErr
 	}

@@ -75,6 +75,27 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so streaming responses (the
+// /jobs SSE endpoint) actually leave the process event by event.
+// Without this passthrough the wrapper hides the underlying
+// http.Flusher and every instrumented handler's writes sit in the
+// server's buffer until the handler returns — fatal for progressive
+// delivery. Flushing commits the response, so an unset status counts
+// as 200 from here on, matching net/http.
+func (w *statusWriter) Flush() {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.NewResponseController,
+// which walks Unwrap chains to find capabilities (deadlines, hijack)
+// this wrapper doesn't re-implement.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 func (w *statusWriter) status() int {
 	if w.code == 0 {
 		return http.StatusOK

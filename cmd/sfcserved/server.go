@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sfcmem"
+	"sfcmem/internal/jobs"
 	"sfcmem/internal/metrics"
 	"sfcmem/internal/obs"
 	"sfcmem/internal/rcache"
@@ -62,6 +63,14 @@ type server struct {
 	// see bootNonce.
 	nonce string
 
+	// jobs, when non-nil, is the async job subsystem behind /jobs:
+	// batching scheduler, priority lanes, progressive SSE delivery.
+	// Wired by enableJobs (newApp does); nil answers /jobs with 503.
+	jobs *jobs.Manager
+	// jobTTFB observes submit-to-first-coarse-frame latency — the
+	// progressive-delivery headline number (DESIGN.md §12).
+	jobTTFB *metrics.Histogram
+
 	// hub is the request-observability layer: per-request traces,
 	// access logs, the completed-trace ring, and in-flight inspection.
 	// Nil (-obs-off) disables all of it; every touch point is nil-safe.
@@ -102,6 +111,7 @@ func newServer(store *volumeStore, reg *metrics.Registry, slots, depth int, defa
 		"render":  newRouteStats(reg, "render"),
 		"filter":  newRouteStats(reg, "filter"),
 		"volumes": newRouteStats(reg, "volumes"),
+		"jobs":    newRouteStats(reg, "jobs"),
 	}
 	reg.Register("admission.queued", metrics.GaugeFunc(func() any { return len(s.queue) }))
 	reg.Register("admission.running", metrics.GaugeFunc(func() any { return len(s.run) }))
@@ -203,6 +213,10 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /volumes", s.instrument("volumes", s.handleListVolumes))
 	m.HandleFunc("POST /volumes", s.instrument("volumes", s.handleCreateVolume))
 	m.HandleFunc("PUT /volumes/{name}", s.instrument("volumes", s.handleUploadVolume))
+	m.HandleFunc("POST /jobs", s.instrument("jobs", s.handleCreateJob))
+	m.HandleFunc("GET /jobs/{id}", s.instrument("jobs", s.handleGetJob))
+	m.HandleFunc("GET /jobs/{id}/events", s.instrument("jobs", s.handleJobEvents))
+	m.HandleFunc("DELETE /jobs/{id}", s.instrument("jobs", s.handleCancelJob))
 	m.HandleFunc("GET /version", s.handleVersion)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /readyz", s.handleReadyz)
@@ -240,6 +254,29 @@ func (s *server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// retryAfterSeconds estimates when a shed client should come back:
+// the work already queued ahead of it (queue occupancy × recent mean
+// request latency) divided by the service's parallelism, rounded up
+// and clamped to [1, 30] seconds. Before any request has completed
+// there is no latency sample and the floor applies — the pre-derived
+// behavior (a constant 1) — so the header only grows once the service
+// has evidence the backlog really is that slow.
+func (s *server) retryAfterSeconds() int {
+	mean := s.renderLatency.Mean()
+	if m := s.filterLatency.Mean(); m > mean {
+		mean = m
+	}
+	est := time.Duration(len(s.queue)) * mean / time.Duration(cap(s.run))
+	sec := int((est + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
 // requestCtx derives the per-request context: the client's deadline_ms
 // clamped to the configured maximum, or the default when unset. It
 // chains off the connection context, so a client hanging up cancels the
@@ -262,7 +299,7 @@ func (s *server) admissionError(w http.ResponseWriter, err error) bool {
 	switch {
 	case errors.Is(err, errBusy):
 		s.rejected.Inc(0)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "server busy: admission queue full", http.StatusTooManyRequests)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.deadlineMiss.Inc(0)
@@ -296,17 +333,37 @@ type renderRequest struct {
 	DeadlineMS int    `json:"deadline_ms"`
 }
 
-func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
-	s.renderReqs.Inc(0)
-	t := obs.FromContext(r.Context())
-	var req renderRequest
-	endDecode := t.Stage("decode")
-	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
-	endDecode()
-	if err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
+// httpErr carries an HTTP status with its message through the shared
+// plan helpers, so the sync handlers and the jobs API map identical
+// validation onto their own response surfaces.
+type httpErr struct {
+	code int
+	msg  string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+// renderPlan is a validated render request with everything resolved
+// that both the sync path and a render job need before any kernel
+// work: the volume, the element type the render runs at, and the
+// response digest (which doubles as cache key and ETag).
+type renderPlan struct {
+	req  renderRequest // normalized: all defaults applied
+	vol  *storedVolume
+	dt   sfcmem.Dtype
+	key  string
+	etag string
+}
+
+// planRender normalizes and validates req and computes its digest. The
+// digest covers everything that determines the response bytes: the
+// volume's contents (name + generation), the element type the render
+// runs at, and the full view/framing parameters. Workers and deadline
+// are execution knobs — per-pixel compositing is worker-count-
+// invariant — so they are deliberately absent. Render jobs store their
+// final frame under this same digest, which is what lets a sync
+// /render hit the cache after the job completes.
+func (s *server) planRender(req renderRequest) (*renderPlan, *httpErr) {
 	if req.Views <= 0 {
 		req.Views = 24
 	}
@@ -320,39 +377,74 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		req.Workers = runtime.GOMAXPROCS(0)
 	}
 	if req.Width > 4096 || req.Height > 4096 || req.Workers > 256 {
-		http.Error(w, "image or worker count out of range", http.StatusBadRequest)
-		return
+		return nil, &httpErr{http.StatusBadRequest, "image or worker count out of range"}
 	}
 	if req.Format == "" {
 		req.Format = "png"
 	}
 	if req.Format != "png" && req.Format != "raw" {
-		http.Error(w, fmt.Sprintf("unknown format %q (want png or raw)", req.Format), http.StatusBadRequest)
-		return
+		return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf("unknown format %q (want png or raw)", req.Format)}
 	}
 	vol, ok := s.store.get(req.Volume)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown volume %q", req.Volume), http.StatusNotFound)
-		return
+		return nil, &httpErr{http.StatusNotFound, fmt.Sprintf("unknown volume %q", req.Volume)}
 	}
 	dt := vol.grid.Dtype()
 	if req.Dtype != "" {
 		var err error
 		if dt, err = sfcmem.ParseDtype(req.Dtype); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, &httpErr{http.StatusBadRequest, err.Error()}
 		}
 	}
-
-	// The digest covers everything that determines the response bytes:
-	// the volume's contents (name + generation), the element type the
-	// render runs at, and the full view/framing parameters. Workers and
-	// deadline are execution knobs — per-pixel compositing is
-	// worker-count-invariant — so they are deliberately absent.
-	endDigest := t.Stage("digest")
 	key := digest(s.nonce, "render", "v1", vol.name, vol.gen, dt,
 		req.View, req.Views, req.Width, req.Height, req.Shade, req.Format)
-	etag := etagFor(key)
+	return &renderPlan{req: req, vol: vol, dt: dt, key: key, etag: etagFor(key)}, nil
+}
+
+// rasterize runs the raycast kernel over g with req's orbit framing at
+// the given output size and encodes the frame — the section shared by
+// sync /render (full resolution) and the jobs runner, which calls it
+// twice per job: once over the coarse subsample at reduced size, once
+// over the full volume. The stage name keeps the two passes apart in
+// one trace.
+func (s *server) rasterize(ctx context.Context, t *obs.Trace, g *sfcmem.AnyGrid, req renderRequest, width, height int, stage string) (rcache.Value, error) {
+	nx, ny, nz := g.Dims()
+	cam := sfcmem.Orbit(req.View, req.Views, nx, ny, nz, width, height)
+	endKernel := t.Stage(stage)
+	img, err := s.renderImage(sfcmem.WithWorkObserver(ctx, t.Observer("tile")), g, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
+		Workers: req.Workers,
+		Shade:   req.Shade,
+	})
+	endKernel()
+	if err != nil {
+		return rcache.Value{}, err
+	}
+	endEncode := t.Stage("encode")
+	v, err := encodeFrame(img, req.Format)
+	endEncode()
+	return v, err
+}
+
+func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
+	s.renderReqs.Inc(0)
+	t := obs.FromContext(r.Context())
+	var req renderRequest
+	endDecode := t.Stage("decode")
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
+	endDecode()
+	if err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	endDigest := t.Stage("digest")
+	plan, herr := s.planRender(req)
+	if herr != nil {
+		endDigest()
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	req = plan.req
+	etag := plan.etag
 	if s.cache != nil {
 		// A strong ETag is derived purely from the digest, so a match
 		// can be answered 304 without the entry being resident.
@@ -375,10 +467,10 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// compute inline), so the stage spans land in this request's trace;
 	// a coalesced waiter's trace shows only the enclosing cache stage.
 	renderOnce := func(ctx context.Context) (rcache.Value, error) {
-		g := vol.grid
-		if dt != g.Dtype() {
+		g := plan.vol.grid
+		if plan.dt != g.Dtype() {
 			endResolve := t.Stage("resolve")
-			g = g.Convert(dt)
+			g = g.Convert(plan.dt)
 			endResolve()
 		}
 		release, err := s.admit(ctx)
@@ -388,22 +480,12 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		defer release()
 
 		start := time.Now()
-		nx, ny, nz := g.Dims()
-		cam := sfcmem.Orbit(req.View, req.Views, nx, ny, nz, req.Width, req.Height)
-		endKernel := t.Stage("kernel")
-		img, err := s.renderImage(sfcmem.WithWorkObserver(ctx, t.Observer("tile")), g, cam, sfcmem.DefaultTransferFunc(), sfcmem.RenderOptions{
-			Workers: req.Workers,
-			Shade:   req.Shade,
-		})
-		endKernel()
+		v, err := s.rasterize(ctx, t, g, req, req.Width, req.Height, "kernel")
 		if err != nil {
 			return rcache.Value{}, err
 		}
 		s.renderLatency.Observe(time.Since(start))
-		endEncode := t.Stage("encode")
-		v, err := encodeFrame(img, req.Format)
-		endEncode()
-		return v, err
+		return v, nil
 	}
 
 	var v rcache.Value
@@ -413,7 +495,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 		// request's run, or (as leader) the whole renderOnce chain —
 		// the nested spans and the X-Cache disposition tell which.
 		endCache := t.Stage("cache")
-		v, out, err = s.cache.Do(ctx, key, renderOnce)
+		v, out, err = s.cache.Do(ctx, plan.key, renderOnce)
 		endCache()
 	} else {
 		v, err = renderOnce(ctx)
@@ -478,17 +560,26 @@ type filterRequest struct {
 	DeadlineMS int    `json:"deadline_ms"`
 }
 
-func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
-	s.filterReqs.Inc(0)
-	t := obs.FromContext(r.Context())
-	var req filterRequest
-	endDecode := t.Stage("decode")
-	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
-	endDecode()
-	if err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
+// filterPlan is a validated filter request with the source volume, the
+// run's element type, the selected kernel, and the response digest
+// resolved — shared by sync /filter and filter jobs. The digest ties
+// the result to the source contents (name + generation), the full
+// kernel parameters, and the destination name — part of the observable
+// effect (which volume the result lands in). The destination's *state*
+// cannot live in the key (the run itself bumps it); it is checked via
+// dstHoldsResult instead.
+type filterPlan struct {
+	req    filterRequest // normalized: all defaults applied
+	src    *storedVolume
+	dt     sfcmem.Dtype
+	axis   sfcmem.Axis
+	kernel func(context.Context, *sfcmem.AnyGrid, *sfcmem.AnyGrid, sfcmem.FilterOptions) error
+	key    string
+	etag   string
+}
+
+// planFilter normalizes and validates req and computes its digest.
+func (s *server) planFilter(req filterRequest) (*filterPlan, *httpErr) {
 	if req.Dst == "" {
 		req.Dst = req.Src + ".filtered"
 	}
@@ -502,8 +593,7 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 		req.Workers = runtime.GOMAXPROCS(0)
 	}
 	if req.Radius > 8 || req.Workers > 256 {
-		http.Error(w, "radius or worker count out of range", http.StatusBadRequest)
-		return
+		return nil, &httpErr{http.StatusBadRequest, "radius or worker count out of range"}
 	}
 	var axis sfcmem.Axis
 	switch req.Axis {
@@ -514,8 +604,7 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	case "z":
 		axis = sfcmem.AxisZ
 	default:
-		http.Error(w, fmt.Sprintf("unknown axis %q (want x, y, or z)", req.Axis), http.StatusBadRequest)
-		return
+		return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf("unknown axis %q (want x, y, or z)", req.Axis)}
 	}
 	kernel := sfcmem.BilateralAnyCtx
 	switch req.Kernel {
@@ -523,59 +612,108 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	case "gaussian":
 		kernel = sfcmem.GaussianConvolveAnyCtx
 	default:
-		http.Error(w, fmt.Sprintf("unknown kernel %q (want bilateral or gaussian)", req.Kernel), http.StatusBadRequest)
-		return
+		return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf("unknown kernel %q (want bilateral or gaussian)", req.Kernel)}
 	}
 	src, ok := s.store.get(req.Src)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown volume %q", req.Src), http.StatusNotFound)
-		return
+		return nil, &httpErr{http.StatusNotFound, fmt.Sprintf("unknown volume %q", req.Src)}
 	}
 	dt := src.grid.Dtype()
 	if req.Dtype != "" {
 		var err error
 		if dt, err = sfcmem.ParseDtype(req.Dtype); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, &httpErr{http.StatusBadRequest, err.Error()}
 		}
 	}
-
-	// The filter digest ties the result to the source contents (name +
-	// generation), the full kernel parameters, and the destination
-	// name — part of the observable effect (which volume the result
-	// lands in). The destination's *state* cannot live in the key (the
-	// run itself bumps it); it is checked via dstHoldsResult instead.
-	endDigest := t.Stage("digest")
 	key := digest(s.nonce, "filter", "v1", src.name, src.gen, req.Dst, req.Kernel,
 		req.Radius, axis, req.SigmaRange, dt)
-	etag := etagFor(key)
-	endDigest()
-	// dstHoldsResult reports whether the destination volume currently
-	// holds this exact filter run's output. The endpoint's main effect
-	// is mutating dst, so a cached response — or a 304 — is only
-	// honest while that effect is still in place; an upload over dst
-	// clears its filterKey, forcing the next identical request back
-	// through the kernel.
-	dstHoldsResult := func() bool {
-		d, ok := s.store.get(req.Dst)
-		return ok && d.filterKey == key
+	return &filterPlan{req: req, src: src, dt: dt, axis: axis, kernel: kernel, key: key, etag: etagFor(key)}, nil
+}
+
+// dstHoldsResult reports whether the destination volume currently
+// holds this exact filter run's output. The endpoint's main effect is
+// mutating dst, so a cached response — or a 304 — is only honest while
+// that effect is still in place; an upload over dst clears its
+// filterKey, forcing the next identical request back through the
+// kernel.
+func (s *server) dstHoldsResult(p *filterPlan) bool {
+	d, ok := s.store.get(p.req.Dst)
+	return ok && d.filterKey == p.key
+}
+
+// applyFilter runs the filter kernel over the (already dtype-resolved)
+// source grid, stores the destination volume, and encodes the JSON
+// response body — the section shared by sync /filter and filter jobs.
+// The caller holds an admission slot.
+func (s *server) applyFilter(ctx context.Context, t *obs.Trace, srcGrid *sfcmem.AnyGrid, p *filterPlan) (rcache.Value, error) {
+	start := time.Now()
+	dst := sfcmem.NewAnyGrid(srcGrid.Dtype(), srcGrid.Layout())
+	endKernel := t.Stage("kernel")
+	err := p.kernel(sfcmem.WithWorkObserver(ctx, t.Observer("pencil")), srcGrid, dst, sfcmem.FilterOptions{
+		Radius:     p.req.Radius,
+		Axis:       p.axis,
+		SigmaRange: p.req.SigmaRange,
+		Workers:    p.req.Workers,
+	})
+	endKernel()
+	if err != nil {
+		return rcache.Value{}, err
 	}
+	elapsed := time.Since(start)
+	s.filterLatency.Observe(elapsed)
+	endEncode := t.Stage("encode")
+	defer endEncode()
+	s.store.put(&storedVolume{
+		name:      p.req.Dst,
+		dataset:   p.src.dataset + "+" + p.req.Kernel,
+		layout:    p.src.layout,
+		grid:      dst,
+		filterKey: p.key,
+	})
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(map[string]any{ //nolint:errcheck // bytes.Buffer never fails
+		"volume":  p.req.Dst,
+		"dtype":   dst.Dtype().String(),
+		"seconds": elapsed.Seconds(),
+	})
+	return rcache.Value{Body: buf.Bytes(), ContentType: "application/json"}, nil
+}
+
+func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	s.filterReqs.Inc(0)
+	t := obs.FromContext(r.Context())
+	var req filterRequest
+	endDecode := t.Stage("decode")
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
+	endDecode()
+	if err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	endDigest := t.Stage("digest")
+	plan, herr := s.planFilter(req)
+	endDigest()
+	if herr != nil {
+		http.Error(w, herr.msg, herr.code)
+		return
+	}
+	etag := plan.etag
 	if s.cache != nil {
-		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) && dstHoldsResult() {
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) && s.dstHoldsResult(plan) {
 			w.Header().Set("ETag", etag)
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
 
-	ctx, cancel := s.requestCtx(r, req.DeadlineMS)
+	ctx, cancel := s.requestCtx(r, plan.req.DeadlineMS)
 	defer cancel()
 
 	filterOnce := func(ctx context.Context) (rcache.Value, error) {
-		srcGrid := src.grid
-		if dt != srcGrid.Dtype() {
+		srcGrid := plan.src.grid
+		if plan.dt != srcGrid.Dtype() {
 			endResolve := t.Stage("resolve")
-			srcGrid = srcGrid.Convert(dt)
+			srcGrid = srcGrid.Convert(plan.dt)
 			endResolve()
 		}
 		release, err := s.admit(ctx)
@@ -583,53 +721,22 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 			return rcache.Value{}, err
 		}
 		defer release()
-
-		start := time.Now()
-		dst := sfcmem.NewAnyGrid(srcGrid.Dtype(), srcGrid.Layout())
-		endKernel := t.Stage("kernel")
-		err = kernel(sfcmem.WithWorkObserver(ctx, t.Observer("pencil")), srcGrid, dst, sfcmem.FilterOptions{
-			Radius:     req.Radius,
-			Axis:       axis,
-			SigmaRange: req.SigmaRange,
-			Workers:    req.Workers,
-		})
-		endKernel()
-		if err != nil {
-			return rcache.Value{}, err
-		}
-		elapsed := time.Since(start)
-		s.filterLatency.Observe(elapsed)
-		endEncode := t.Stage("encode")
-		defer endEncode()
-		s.store.put(&storedVolume{
-			name:      req.Dst,
-			dataset:   src.dataset + "+" + req.Kernel,
-			layout:    src.layout,
-			grid:      dst,
-			filterKey: key,
-		})
-		var buf bytes.Buffer
-		json.NewEncoder(&buf).Encode(map[string]any{ //nolint:errcheck // bytes.Buffer never fails
-			"volume":  req.Dst,
-			"dtype":   dst.Dtype().String(),
-			"seconds": elapsed.Seconds(),
-		})
-		return rcache.Value{Body: buf.Bytes(), ContentType: "application/json"}, nil
+		return s.applyFilter(ctx, t, srcGrid, plan)
 	}
 
 	var v rcache.Value
 	var out rcache.Outcome
 	if s.cache != nil {
-		if !dstHoldsResult() {
+		if !s.dstHoldsResult(plan) {
 			// The response body may still be resident, but dst no longer
 			// holds the output it describes (replaced by an upload since
 			// the run). Drop the entry so Do re-runs the kernel and
 			// re-stores dst instead of replaying a claim that is no
 			// longer true.
-			s.cache.Invalidate(key)
+			s.cache.Invalidate(plan.key)
 		}
 		endCache := t.Stage("cache")
-		v, out, err = s.cache.Do(ctx, key, filterOnce)
+		v, out, err = s.cache.Do(ctx, plan.key, filterOnce)
 		endCache()
 	} else {
 		v, err = filterOnce(ctx)

@@ -166,3 +166,35 @@ func TestParseDtype(t *testing.T) {
 		t.Errorf("ParseDtype error should list recognized dtypes: %v", err)
 	}
 }
+
+func TestSubsampleAnyPreservesDtypeAndBits(t *testing.T) {
+	for _, dt := range sfcmem.Dtypes() {
+		l := sfcmem.NewLayout(sfcmem.ZOrder, 16, 16, 16)
+		src := sfcmem.MRIPhantomAny(dt, l, 3, 0.01)
+		sub, err := sfcmem.SubsampleAny(src, 1, func(nx, ny, nz int) sfcmem.Layout {
+			return sfcmem.NewLayout(sfcmem.ZOrder, nx, ny, nz)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", dt, err)
+		}
+		if sub.Dtype() != dt {
+			t.Fatalf("%v: subsample came back as %v", dt, sub.Dtype())
+		}
+		nx, ny, nz := sub.Dims()
+		if nx != 8 || ny != 8 || nz != 8 {
+			t.Fatalf("%v: dims %dx%dx%d, want 8³", dt, nx, ny, nz)
+		}
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					if sub.Norm(i, j, k) != src.Norm(i*2, j*2, k*2) {
+						t.Fatalf("%v: sample (%d,%d,%d) differs from source lattice", dt, i, j, k)
+					}
+				}
+			}
+		}
+		if _, err := sfcmem.SubsampleAny(src, -1, nil); err == nil {
+			t.Errorf("%v: negative level accepted", dt)
+		}
+	}
+}

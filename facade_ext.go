@@ -96,6 +96,45 @@ func Subsample(src *Grid, level int, target func(nx, ny, nz int) Layout) (*Grid,
 	return multires.Subsample(src, level, target)
 }
 
+// SubsampleOf is Subsample for any element type: pure sample selection,
+// so the output is bit-identical to the source lattice at every dtype.
+func SubsampleOf[T Scalar](src *GridOf[T], level int, target func(nx, ny, nz int) Layout) (*GridOf[T], error) {
+	return multires.Subsample(src, level, target)
+}
+
+// SliceOf extracts an axis-aligned plane (optionally subsampled by
+// 2^level per in-plane axis) as a dense row-major image of the source
+// element type.
+func SliceOf[T Scalar](src *GridOf[T], axis SliceAxis, at, level int) (pix []T, w, h int, err error) {
+	return multires.Slice(src, axis, at, level)
+}
+
+// SubsampleAny extracts the level-L lattice of a dynamic-dtype volume,
+// preserving the element type — the coarse pass of progressive
+// delivery, where a compact subset of memory yields a useful answer
+// before the full volume is touched.
+func SubsampleAny(a *AnyGrid, level int, target func(nx, ny, nz int) Layout) (*AnyGrid, error) {
+	switch g := a.g.(type) {
+	case *GridOf[uint8]:
+		return subsampleAny(g, level, target)
+	case *GridOf[uint16]:
+		return subsampleAny(g, level, target)
+	case *GridOf[float32]:
+		return subsampleAny(g, level, target)
+	case *GridOf[float64]:
+		return subsampleAny(g, level, target)
+	}
+	panic("sfcmem: zero AnyGrid")
+}
+
+func subsampleAny[T Scalar](g *GridOf[T], level int, target func(nx, ny, nz int) Layout) (*AnyGrid, error) {
+	out, err := multires.Subsample(g, level, target)
+	if err != nil {
+		return nil, err
+	}
+	return WrapAny(out), nil
+}
+
 // SliceCost measures the memory a layout must touch to serve an
 // axis-aligned slice query.
 func SliceCost(l Layout, axis SliceAxis, at, level int) (QueryCost, error) {

@@ -1,0 +1,494 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitTerminal blocks until j terminates or the test deadline passes.
+func waitTerminal(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job %s stuck in state %s", j.ID, j.State())
+	}
+}
+
+func drain(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestSizeTriggerSharesSetup(t *testing.T) {
+	// Linger far beyond the test horizon: only the size trigger can seal.
+	m := New(Config{MaxBatch: 4, Linger: time.Hour, Runners: 1})
+	var setups, runs atomic.Int32
+	spec := func() Spec {
+		return Spec{
+			BatchKey: "vol|f32|zorder",
+			Setup: func(ctx context.Context) (any, error) {
+				setups.Add(1)
+				return "shared-view", nil
+			},
+			Run: func(ctx context.Context, shared any, j *Job) error {
+				if shared != "shared-view" {
+					t.Errorf("job %s got shared %v", j.ID, shared)
+				}
+				runs.Add(1)
+				return nil
+			},
+		}
+	}
+	var js []*Job
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	for _, j := range js {
+		waitTerminal(t, j)
+		if j.State() != StateDone {
+			t.Fatalf("job %s: %s (%s)", j.ID, j.State(), j.Err())
+		}
+		if j.BatchSize() != 4 {
+			t.Errorf("job %s batch size %d, want 4", j.ID, j.BatchSize())
+		}
+	}
+	if setups.Load() != 1 {
+		t.Errorf("setup ran %d times, want once per batch", setups.Load())
+	}
+	if runs.Load() != 4 {
+		t.Errorf("runs %d, want 4", runs.Load())
+	}
+	st := m.Stats()
+	if st.Submitted != 4 || st.Done != 4 || st.Batches != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	drain(t, m)
+}
+
+func TestLingerTriggerSealsSingleton(t *testing.T) {
+	m := New(Config{MaxBatch: 100, Linger: 5 * time.Millisecond, Runners: 1})
+	j, err := m.Submit(Spec{
+		BatchKey: "k",
+		Run:      func(ctx context.Context, shared any, j *Job) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.State() != StateDone || j.BatchSize() != 1 {
+		t.Fatalf("state %s size %d", j.State(), j.BatchSize())
+	}
+	tm := j.Times()
+	if tm.Sealed.Before(tm.Submitted) || tm.Started.Before(tm.Sealed) || tm.Finished.Before(tm.Started) {
+		t.Errorf("timestamps out of order: %+v", tm)
+	}
+	drain(t, m)
+}
+
+func TestDistinctKeysDoNotBatch(t *testing.T) {
+	m := New(Config{MaxBatch: 2, Linger: 5 * time.Millisecond, Runners: 2})
+	a, _ := m.Submit(Spec{BatchKey: "a", Run: func(context.Context, any, *Job) error { return nil }})
+	b, _ := m.Submit(Spec{BatchKey: "b", Run: func(context.Context, any, *Job) error { return nil }})
+	waitTerminal(t, a)
+	waitTerminal(t, b)
+	if a.BatchSize() != 1 || b.BatchSize() != 1 {
+		t.Errorf("batch sizes %d/%d, want 1/1", a.BatchSize(), b.BatchSize())
+	}
+	if m.Stats().Batches != 2 {
+		t.Errorf("batches %d, want 2", m.Stats().Batches)
+	}
+	drain(t, m)
+}
+
+func TestInteractivePreemptsBulk(t *testing.T) {
+	// One runner, blocked on a gate job. While it is blocked, queue a
+	// bulk batch then an interactive batch; the interactive one must run
+	// first even though it sealed later.
+	m := New(Config{MaxBatch: 1, Linger: time.Hour, Runners: 1})
+	gate := make(chan struct{})
+	started := make(chan string, 3)
+	mk := func(name string, lane Lane) Spec {
+		return Spec{
+			BatchKey: name,
+			Lane:     lane,
+			Run: func(ctx context.Context, _ any, j *Job) error {
+				started <- name
+				if name == "gate" {
+					<-gate
+				}
+				return nil
+			},
+		}
+	}
+	g, _ := m.Submit(mk("gate", Bulk))
+	<-started // runner is now inside the gate job
+	bulk, _ := m.Submit(mk("bulk", Bulk))
+	inter, _ := m.Submit(mk("interactive", Interactive))
+	// Both are sealed (MaxBatch 1); let the runner loose.
+	close(gate)
+	first := <-started
+	second := <-started
+	if first != "interactive" || second != "bulk" {
+		t.Errorf("dispatch order %s,%s; want interactive,bulk", first, second)
+	}
+	waitTerminal(t, g)
+	waitTerminal(t, bulk)
+	waitTerminal(t, inter)
+	drain(t, m)
+}
+
+func TestCancelQueuedNeverRuns(t *testing.T) {
+	m := New(Config{MaxBatch: 8, Linger: 20 * time.Millisecond, Runners: 1})
+	var ran atomic.Bool
+	var doneHook atomic.Bool
+	j, err := m.Submit(Spec{
+		BatchKey: "k",
+		Run: func(context.Context, any, *Job) error {
+			ran.Store(true)
+			return nil
+		},
+		Done: func(*Job) { doneHook.Store(true) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	waitTerminal(t, j)
+	if j.State() != StateCancelled {
+		t.Fatalf("state %s, want cancelled", j.State())
+	}
+	if !doneHook.Load() {
+		t.Error("Done hook not fired for queued-cancel")
+	}
+	j.Cancel() // idempotent
+	// Give the linger timer a chance to seal and the runner to (not) run it.
+	time.Sleep(50 * time.Millisecond)
+	if ran.Load() {
+		t.Error("Run executed for a job cancelled while queued")
+	}
+	if m.Stats().Cancelled != 1 {
+		t.Errorf("cancelled counter %d", m.Stats().Cancelled)
+	}
+	drain(t, m)
+}
+
+func TestCancelRunningAbortsViaContext(t *testing.T) {
+	m := New(Config{MaxBatch: 1, Linger: time.Hour, Runners: 1})
+	started := make(chan struct{})
+	j, _ := m.Submit(Spec{
+		BatchKey: "k",
+		Run: func(ctx context.Context, _ any, _ *Job) error {
+			close(started)
+			<-ctx.Done() // a cancellable kernel observes ctx
+			return ctx.Err()
+		},
+	})
+	<-started
+	j.Cancel()
+	waitTerminal(t, j)
+	if j.State() != StateCancelled {
+		t.Fatalf("state %s (%s), want cancelled", j.State(), j.Err())
+	}
+	drain(t, m)
+}
+
+func TestRunFailureMarksFailed(t *testing.T) {
+	m := New(Config{MaxBatch: 1, Linger: time.Hour, Runners: 1})
+	j, _ := m.Submit(Spec{
+		BatchKey: "k",
+		Run:      func(context.Context, any, *Job) error { return errors.New("kernel exploded") },
+	})
+	waitTerminal(t, j)
+	if j.State() != StateFailed || !strings.Contains(j.Err(), "kernel exploded") {
+		t.Fatalf("state %s err %q", j.State(), j.Err())
+	}
+	if m.Stats().Failed != 1 {
+		t.Errorf("failed counter %d", m.Stats().Failed)
+	}
+	drain(t, m)
+}
+
+func TestSetupFailureFailsWholeBatch(t *testing.T) {
+	m := New(Config{MaxBatch: 2, Linger: time.Hour, Runners: 1})
+	spec := Spec{
+		BatchKey: "k",
+		Setup:    func(context.Context) (any, error) { return nil, errors.New("no such volume") },
+		Run: func(context.Context, any, *Job) error {
+			t.Error("Run called despite setup failure")
+			return nil
+		},
+	}
+	a, _ := m.Submit(spec)
+	b, _ := m.Submit(spec)
+	waitTerminal(t, a)
+	waitTerminal(t, b)
+	for _, j := range []*Job{a, b} {
+		if j.State() != StateFailed || !strings.Contains(j.Err(), "no such volume") {
+			t.Errorf("job %s: %s %q", j.ID, j.State(), j.Err())
+		}
+	}
+	drain(t, m)
+}
+
+func TestSubscribeReplayAndLive(t *testing.T) {
+	m := New(Config{MaxBatch: 1, Linger: time.Hour, Runners: 1})
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	j, _ := m.Submit(Spec{
+		BatchKey: "k",
+		Run: func(ctx context.Context, _ any, j *Job) error {
+			close(started)
+			<-gate
+			j.Emit("coarse", map[string]int{"level": 2})
+			return nil
+		},
+	})
+	<-started
+	past, ch, cancel := j.Subscribe()
+	defer cancel()
+	// queued + batched already published.
+	if len(past) < 2 || past[0].Type != "queued" || past[1].Type != "batched" {
+		t.Fatalf("replay %+v", past)
+	}
+	close(gate)
+	var live []Event
+	for ev := range ch {
+		live = append(live, ev)
+		if State(ev.Type).Terminal() {
+			break
+		}
+	}
+	if len(live) != 2 || live[0].Type != "coarse" || live[1].Type != "done" {
+		t.Fatalf("live events %+v", live)
+	}
+	// Seq must be contiguous across replay+live.
+	all := append(past, live...)
+	for i, ev := range all {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: %+v", i, ev.Seq, all)
+		}
+	}
+	// Subscribing after terminal replays everything.
+	waitTerminal(t, j)
+	past2, _, cancel2 := j.Subscribe()
+	cancel2()
+	if len(past2) != len(all) {
+		t.Errorf("post-terminal replay %d events, want %d", len(past2), len(all))
+	}
+	drain(t, m)
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	m := New(Config{MaxBatch: 1, Linger: time.Hour, Runners: 1})
+	j, _ := m.Submit(Spec{
+		BatchKey: "k",
+		Run: func(ctx context.Context, _ any, j *Job) error {
+			j.SetResult([]byte("png bytes"))
+			return nil
+		},
+	})
+	waitTerminal(t, j)
+	if got, ok := j.Result().([]byte); !ok || string(got) != "png bytes" {
+		t.Errorf("result %v", j.Result())
+	}
+	drain(t, m)
+}
+
+func TestSubmitValidationAndDraining(t *testing.T) {
+	m := New(Config{Runners: 1})
+	if _, err := m.Submit(Spec{}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	drain(t, m)
+	if _, err := m.Submit(Spec{Run: func(context.Context, any, *Job) error { return nil }}); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain: %v", err)
+	}
+}
+
+func TestDrainRunsQueuedWork(t *testing.T) {
+	// Long linger: drain itself must seal the pending batch.
+	m := New(Config{MaxBatch: 100, Linger: time.Hour, Runners: 1})
+	var runs atomic.Int32
+	var js []*Job
+	for i := 0; i < 3; i++ {
+		j, err := m.Submit(Spec{
+			BatchKey: "k",
+			Run: func(context.Context, any, *Job) error {
+				runs.Add(1)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	drain(t, m)
+	if runs.Load() != 3 {
+		t.Errorf("drain ran %d jobs, want 3", runs.Load())
+	}
+	for _, j := range js {
+		if j.State() != StateDone {
+			t.Errorf("job %s: %s", j.ID, j.State())
+		}
+	}
+}
+
+func TestDrainExpiryFailsStuckJob(t *testing.T) {
+	m := New(Config{MaxBatch: 1, Linger: time.Hour, Runners: 1})
+	started := make(chan struct{})
+	j, _ := m.Submit(Spec{
+		BatchKey: "k",
+		Run: func(ctx context.Context, _ any, _ *Job) error {
+			close(started)
+			<-ctx.Done() // kernel honors cancellation but never finishes otherwise
+			return ctx.Err()
+		},
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: %v, want deadline exceeded", err)
+	}
+	waitTerminal(t, j)
+	// Not user-cancelled, so the context death reads as failure.
+	if j.State() != StateFailed {
+		t.Errorf("state %s, want failed", j.State())
+	}
+}
+
+func TestGCKeepsLiveAndRecent(t *testing.T) {
+	m := New(Config{MaxBatch: 1, Linger: time.Hour, Runners: 1, Keep: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := m.Submit(Spec{
+			BatchKey: fmt.Sprintf("k%d", i),
+			Run:      func(context.Context, any, *Job) error { return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, j)
+		ids = append(ids, j.ID)
+	}
+	// Submitting one more triggers GC of the oldest terminal jobs.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	live, _ := m.Submit(Spec{BatchKey: "live", Run: func(ctx context.Context, _ any, _ *Job) error {
+		close(started)
+		<-gate
+		return nil
+	}})
+	<-started
+	if _, ok := m.Get(ids[0]); ok {
+		t.Error("oldest terminal job survived GC past Keep")
+	}
+	if _, ok := m.Get(ids[4]); !ok {
+		t.Error("recent terminal job evicted")
+	}
+	if _, ok := m.Get(live.ID); !ok {
+		t.Error("live job evicted")
+	}
+	close(gate)
+	waitTerminal(t, live)
+	drain(t, m)
+}
+
+func TestParseLaneAndStrings(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Lane
+	}{{"", Interactive}, {"interactive", Interactive}, {"bulk", Bulk}} {
+		got, err := ParseLane(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLane(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseLane("urgent"); err == nil {
+		t.Error("bad lane accepted")
+	}
+	if Interactive.String() != "interactive" || Bulk.String() != "bulk" || Lane(9).String() != "Lane(9)" {
+		t.Error("lane names wrong")
+	}
+	if StateRunning.Terminal() || !StateDone.Terminal() || !StateFailed.Terminal() || !StateCancelled.Terminal() {
+		t.Error("Terminal() wrong")
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	// A racy soak: 32 jobs across lanes and keys, a third cancelled
+	// mid-flight, subscribers attached concurrently.
+	m := New(Config{MaxBatch: 4, Linger: 2 * time.Millisecond, Runners: 3})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lane := Interactive
+			if i%2 == 0 {
+				lane = Bulk
+			}
+			j, err := m.Submit(Spec{
+				BatchKey: fmt.Sprintf("key%d", i%3),
+				Lane:     lane,
+				Setup:    func(context.Context) (any, error) { return i % 3, nil },
+				Run: func(ctx context.Context, _ any, j *Job) error {
+					j.Emit("coarse", i)
+					select {
+					case <-time.After(time.Duration(i%5) * time.Millisecond):
+						return nil
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_, ch, cancelSub := j.Subscribe()
+			defer cancelSub()
+			if i%3 == 0 {
+				j.Cancel()
+			}
+			select {
+			case <-j.Done():
+			case <-time.After(5 * time.Second):
+				t.Errorf("job %s stuck", j.ID)
+			}
+			// Drain whatever the channel buffered; must not deadlock.
+			for {
+				select {
+				case <-ch:
+				default:
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Submitted != 32 || st.Done+st.Failed+st.Cancelled != 32 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Failed != 0 {
+		t.Errorf("unexpected failures: %+v", st)
+	}
+	drain(t, m)
+}

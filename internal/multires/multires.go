@@ -23,7 +23,11 @@ import (
 // Subsample extracts level-of-detail L: every 2^L-th sample per axis
 // (the lattice points i,j,k ≡ 0 mod 2^L), into a new grid under the
 // target layout with extents ceil(n / 2^L). Level 0 copies the volume.
-func Subsample(src *grid.Grid[float32], level int, target func(nx, ny, nz int) core.Layout) (*grid.Grid[float32], error) {
+//
+// Subsampling is pure sample selection — no arithmetic touches the
+// values — so the output is bit-identical to the source lattice at
+// every element type (the golden-hash tests pin this per dtype).
+func Subsample[T grid.Scalar](src *grid.Grid[T], level int, target func(nx, ny, nz int) core.Layout) (*grid.Grid[T], error) {
 	if level < 0 {
 		return nil, fmt.Errorf("multires: level %d must be >= 0", level)
 	}
@@ -31,7 +35,7 @@ func Subsample(src *grid.Grid[float32], level int, target func(nx, ny, nz int) c
 	s := 1 << level
 	ceil := func(n int) int { return (n + s - 1) / s }
 	ox, oy, oz := ceil(nx), ceil(ny), ceil(nz)
-	out := grid.New(target(ox, oy, oz))
+	out := grid.NewOf[T](target(ox, oy, oz))
 	for k := 0; k < oz; k++ {
 		for j := 0; j < oy; j++ {
 			for i := 0; i < ox; i++ {
@@ -69,8 +73,9 @@ func (a SliceAxis) String() string {
 
 // Slice extracts the axis-aligned plane at the fixed coordinate, with
 // every 2^level-th sample per in-plane axis, as a dense row-major
-// float32 image (width × height in the returned dims).
-func Slice(src *grid.Grid[float32], axis SliceAxis, at, level int) (pix []float32, w, h int, err error) {
+// image of the source element type (width × height in the returned
+// dims).
+func Slice[T grid.Scalar](src *grid.Grid[T], axis SliceAxis, at, level int) (pix []T, w, h int, err error) {
 	if level < 0 {
 		return nil, 0, 0, fmt.Errorf("multires: level %d must be >= 0", level)
 	}
@@ -83,7 +88,7 @@ func Slice(src *grid.Grid[float32], axis SliceAxis, at, level int) (pix []float3
 			return nil, 0, 0, fmt.Errorf("multires: slice x=%d out of [0,%d)", at, nx)
 		}
 		w, h = ceil(ny), ceil(nz)
-		pix = make([]float32, w*h)
+		pix = make([]T, w*h)
 		for z := 0; z < h; z++ {
 			for y := 0; y < w; y++ {
 				pix[z*w+y] = src.At(at, y*s, z*s)
@@ -94,7 +99,7 @@ func Slice(src *grid.Grid[float32], axis SliceAxis, at, level int) (pix []float3
 			return nil, 0, 0, fmt.Errorf("multires: slice y=%d out of [0,%d)", at, ny)
 		}
 		w, h = ceil(nx), ceil(nz)
-		pix = make([]float32, w*h)
+		pix = make([]T, w*h)
 		for z := 0; z < h; z++ {
 			for x := 0; x < w; x++ {
 				pix[z*w+x] = src.At(x*s, at, z*s)
@@ -105,7 +110,7 @@ func Slice(src *grid.Grid[float32], axis SliceAxis, at, level int) (pix []float3
 			return nil, 0, 0, fmt.Errorf("multires: slice z=%d out of [0,%d)", at, nz)
 		}
 		w, h = ceil(nx), ceil(ny)
-		pix = make([]float32, w*h)
+		pix = make([]T, w*h)
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
 				pix[y*w+x] = src.At(x*s, y*s, at)

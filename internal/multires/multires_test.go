@@ -1,6 +1,10 @@
 package multires
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"testing"
 
 	"sfcmem/internal/core"
@@ -219,6 +223,77 @@ func TestSubsampleOnRealVolume(t *testing.T) {
 	if lo < 0 || hi > 1 || hi == 0 {
 		t.Errorf("subsample range [%v,%v]", lo, hi)
 	}
+}
+
+// hashGrid hashes a grid's sample buffer as little-endian bytes, the
+// same canonical form the PR 4 kernel goldens use.
+func hashGrid[T grid.Scalar](t *testing.T, g *grid.Grid[T]) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, g.Data()); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// checkSubsampleDtype exercises the generic Subsample at one element
+// type: every output sample must be bit-identical to its source lattice
+// point (subsampling does no arithmetic), and the whole output buffer
+// must match a pinned golden hash so a future refactor cannot quietly
+// introduce conversion or rounding.
+func checkSubsampleDtype[T grid.Scalar](t *testing.T, golden string) {
+	src := volume.MRIPhantomOf[T](core.NewZOrder(16, 16, 16), 7, 0.05)
+	out, err := Subsample(src, 1, func(nx, ny, nz int) core.Layout {
+		return core.NewZOrder(nx, ny, nz)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ox, oy, oz := out.Dims()
+	if ox != 8 || oy != 8 || oz != 8 {
+		t.Fatalf("dims %dx%dx%d, want 8³", ox, oy, oz)
+	}
+	for k := 0; k < oz; k++ {
+		for j := 0; j < oy; j++ {
+			for i := 0; i < ox; i++ {
+				if out.At(i, j, k) != src.At(i*2, j*2, k*2) {
+					t.Fatalf("sample (%d,%d,%d) not bit-identical to source", i, j, k)
+				}
+			}
+		}
+	}
+	if got := hashGrid(t, out); got != golden {
+		t.Errorf("golden hash %s, want %s", got, golden)
+	}
+
+	// Slice must hand back the same bits too.
+	pix, w, h, err := Slice(src, SliceY, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < h; z++ {
+		for x := 0; x < w; x++ {
+			if pix[z*w+x] != src.At(x*2, 5, z*2) {
+				t.Fatalf("slice pixel (%d,%d) not bit-identical to source", x, z)
+			}
+		}
+	}
+}
+
+func TestSubsampleGoldenPerDtype(t *testing.T) {
+	t.Run("uint8", func(t *testing.T) {
+		checkSubsampleDtype[uint8](t, "f2306e6dcd33d19a51f0dd3605b2607a54f875964d22a51309f34be9186fdbf6")
+	})
+	t.Run("uint16", func(t *testing.T) {
+		checkSubsampleDtype[uint16](t, "9056526f215a63ecdab840d2783288f07a5608d9f0a93c97e5d14132f3ca6086")
+	})
+	t.Run("float32", func(t *testing.T) {
+		checkSubsampleDtype[float32](t, "8a0ce5cf1d2e408c3aa40621ddb22c9ced56d32093ad70754e3cc634709abd28")
+	})
+	t.Run("float64", func(t *testing.T) {
+		checkSubsampleDtype[float64](t, "34b5cd7358d641720d7b349249c06e0c796145ba7a481ae77b9e4f63ba9c3478")
+	})
 }
 
 func TestSliceAxisString(t *testing.T) {

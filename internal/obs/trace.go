@@ -182,6 +182,32 @@ func (t *Trace) Stage(name string) func() {
 	}
 }
 
+// StageAt records an already-completed top-level stage span from
+// explicit timestamps. Stage's enter/end discipline requires one
+// goroutine holding the region open on its stack; lifecycle phases
+// whose boundaries cross goroutines — a job's queue wait (enqueued by
+// a handler, dequeued by a scheduler), a batch's seal-to-start gap —
+// have no such goroutine, so their owner records them after the fact.
+// Safe from any goroutine (the span array is claimed atomically) and
+// on a nil trace; it never touches the live nesting depth.
+func (t *Trace) StageAt(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.addSpan(Span{Name: name, Worker: -1, Depth: 0, Start: start.Sub(t.Start), Dur: d})
+}
+
+// Mark updates the live stage label shown by the in-flight listing
+// without opening a span — for owners that record their spans
+// retroactively via StageAt but still want /ops/requests to show where
+// the work currently sits. Safe from any goroutine and on a nil trace.
+func (t *Trace) Mark(name string) {
+	if t == nil {
+		return
+	}
+	t.stage.Store(&name)
+}
+
 // Observer returns a parallel.Observer-shaped callback recording each
 // completed kernel work item as a span on its worker lane, or nil for a
 // nil trace — so the caller can hand it straight to kernel Options.

@@ -336,3 +336,58 @@ func BenchmarkRequestEnvelope(b *testing.B) {
 		h.Finish(t, 200, 4096, "miss")
 	}
 }
+
+func TestStageAtAndMark(t *testing.T) {
+	tr := NewTrace("job", "", "")
+	start := tr.Start.Add(5 * time.Millisecond)
+	tr.StageAt("queued", start, 20*time.Millisecond)
+	tr.StageAt("batched", start.Add(20*time.Millisecond), 3*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "queued" || spans[0].Depth != 0 || spans[0].Worker != -1 {
+		t.Errorf("queued span wrong: %+v", spans[0])
+	}
+	if spans[0].Start != 5*time.Millisecond || spans[0].Dur != 20*time.Millisecond {
+		t.Errorf("queued span timing wrong: %+v", spans[0])
+	}
+	// Retroactive spans land in the depth-0 stage breakdown like live ones.
+	names, durs := tr.StageBreakdown()
+	if len(names) != 2 || names[0] != "queued" || durs[1] != 3*time.Millisecond {
+		t.Errorf("breakdown %v %v", names, durs)
+	}
+	if got := tr.CurrentStage(); got != "" {
+		t.Errorf("StageAt moved the live stage label to %q", got)
+	}
+	tr.Mark("refine")
+	if got := tr.CurrentStage(); got != "refine" {
+		t.Errorf("Mark: current stage %q, want refine", got)
+	}
+	// Nil safety: both must be no-ops.
+	var nilT *Trace
+	nilT.StageAt("x", time.Now(), time.Second)
+	nilT.Mark("x")
+}
+
+func TestStageAtConcurrent(t *testing.T) {
+	// StageAt is documented safe from any goroutine; hammer it under
+	// -race alongside Mark and a reader.
+	tr := NewTrace("job", "", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.StageAt("s", tr.Start, time.Millisecond)
+				tr.Mark("s")
+				_ = tr.CurrentStage()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 200 {
+		t.Errorf("%d spans recorded, want 200", n)
+	}
+}
