@@ -62,7 +62,7 @@ bench-smoke:
 # against the committed baseline with cmd/benchdiff. Fails when a gated
 # benchmark regresses past BENCH_THRESHOLD percent. Refresh the
 # baseline after an intentional perf change with `make bench-baseline`.
-BENCH_GATE ?= FastPathBilatR5|FastPathVolrend
+BENCH_GATE ?= FastPathBilatR5|FastPathVolrend|BilateralStepR5
 BENCH_THRESHOLD ?= 15
 bench-regression:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=3x -count=3 -benchmem . > bench_fresh.txt
@@ -79,6 +79,8 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzZOrderRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzHilbertRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzStepRoundTrip -fuzztime=$(FUZZTIME) ./internal/morton
+	$(GO) test -run='^$$' -fuzz=FuzzStepperWalk -fuzztime=$(FUZZTIME) ./internal/core
 
 clean:
 	rm -rf csv frames lod test_output.txt bench_output.txt bench_fresh.txt bench_fresh.json cover.out

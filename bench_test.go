@@ -383,6 +383,46 @@ func BenchmarkFastPathVolrend(b *testing.B) {
 	}
 }
 
+// --- A8: neighbor-stepping stencil walk ablation -----------------------
+
+// BenchmarkBilateralStepR5 measures what walking the curve buys over
+// per-tap offset-table lookups inside the flat fast path, on the
+// heaviest bilateral configuration (r5, 11³ stencil): step advances the
+// stencil by neighbor increments (stride adds on array order,
+// dilated-bit Morton arithmetic on Z order, intra-brick Morton walks on
+// Z-tiled), table pins Options.NoStepper so every tap resolves through
+// the per-axis offset tables. DESIGN.md §13 records the numbers.
+func BenchmarkBilateralStepR5(b *testing.B) {
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.ZTiledKind} {
+		benchBilatStep[uint8](b, kind)
+		benchBilatStep[float32](b, kind)
+	}
+}
+
+func benchBilatStep[T grid.Scalar](b *testing.B, kind core.Kind) {
+	const n = 32
+	dtype := grid.DtypeFor[T]().String()
+	for _, path := range []struct {
+		name   string
+		noStep bool
+	}{{"step", false}, {"table", true}} {
+		b.Run(kind.String()+"/"+dtype+"/"+path.name, func(b *testing.B) {
+			src := grid.ConvertGrid[T](mriFor(b, kind, n))
+			dst := grid.NewOf[T](core.New(kind, n, n, n))
+			opts := filter.Options{
+				Radius: 5, Axis: parallel.AxisX, Order: filter.XYZ,
+				Workers: 4, NoStepper: path.noStep,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := filter.ApplyOf[T](src, dst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // A sanity assertion disguised as a test so bench runs that include
 // tests verify the public API is alive.
 func TestBenchInputsAreSane(t *testing.T) {

@@ -168,15 +168,35 @@ func (s *server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxCoarseLevel is the volume's deepest meaningful preview level: the
+// largest L whose 2^L-per-axis subsample still has at least two samples
+// on every axis. Below two samples an axis degenerates to a single
+// plane and the "preview" stops resembling the volume.
+func maxCoarseLevel(nx, ny, nz int) int {
+	level := 0
+	for m := min(nx, ny, nz); m>>(level+1) >= 2; level++ {
+	}
+	return level
+}
+
 // renderJobSpec builds the scheduler spec for a render job. Batch
 // compatibility covers exactly what Setup resolves — the volume's
 // contents (name + generation), the element type of the run, and the
 // coarse level — so framing (view, size, format) varies freely within
 // a batch while the expensive per-volume work is shared.
+//
+// The requested coarse level is clamped to the volume's deepest
+// meaningful level before it reaches the batch key or the subsample:
+// a level-4 preview of an 8³ volume would collapse axes to a point.
+// The coarse event reports the effective (clamped) level, so clients
+// see the level that actually rendered.
 func (s *server) renderJobSpec(req renderRequest, lane jobs.Lane, coarseLevel int, hdr http.Header) (jobs.Spec, *httpErr) {
 	plan, herr := s.planRender(req)
 	if herr != nil {
 		return jobs.Spec{}, herr
+	}
+	if lmax := maxCoarseLevel(plan.vol.grid.Dims()); coarseLevel > lmax {
+		coarseLevel = lmax
 	}
 	kind, err := sfcmem.ParseLayout(plan.vol.layout)
 	if err != nil {

@@ -644,13 +644,13 @@ func TestJobValidation(t *testing.T) {
 	a, _, _ := startApp(t, testConfig())
 	base := "http://" + a.apiAddr()
 	bad := []jobRequest{
-		{},                         // no op body at all
-		{Op: "render"},             // op without its body
-		{Op: "compress"},           // unknown op
-		{Priority: "urgent", Render: &renderRequest{Volume: "demo"}},             // bad lane
-		{Render: &renderRequest{Volume: "nope", Views: 8}},                       // unknown volume (404 below)
-		{CoarseLevel: ptr(9), Render: &renderRequest{Volume: "demo", Views: 8}},  // coarse level out of range
-		{Filter: &filterRequest{Src: "demo", Kernel: "median"}},                  // bad kernel
+		{},               // no op body at all
+		{Op: "render"},   // op without its body
+		{Op: "compress"}, // unknown op
+		{Priority: "urgent", Render: &renderRequest{Volume: "demo"}},            // bad lane
+		{Render: &renderRequest{Volume: "nope", Views: 8}},                      // unknown volume (404 below)
+		{CoarseLevel: ptr(9), Render: &renderRequest{Volume: "demo", Views: 8}}, // coarse level out of range
+		{Filter: &filterRequest{Src: "demo", Kernel: "median"}},                 // bad kernel
 	}
 	wants := []int{400, 400, 400, 400, 404, 400, 400}
 	for i, b := range bad {
@@ -724,3 +724,74 @@ func TestFilterJobMatchesSync(t *testing.T) {
 }
 
 func ptr[T any](v T) *T { return &v }
+
+// TestMaxCoarseLevel pins the clamp arithmetic: the deepest level keeps
+// at least two samples per axis.
+func TestMaxCoarseLevel(t *testing.T) {
+	cases := []struct {
+		nx, ny, nz, want int
+	}{
+		{2, 2, 2, 0},
+		{3, 3, 3, 0},
+		{4, 4, 4, 1},
+		{16, 16, 16, 3},
+		{48, 48, 48, 4},
+		{64, 4, 64, 1}, // thinnest axis governs
+	}
+	for _, c := range cases {
+		if got := maxCoarseLevel(c.nx, c.ny, c.nz); got != c.want {
+			t.Errorf("maxCoarseLevel(%d,%d,%d) = %d, want %d", c.nx, c.ny, c.nz, got, c.want)
+		}
+	}
+}
+
+// TestJobCoarseLevelClampedToVolume submits a render job whose
+// coarse_level passes the request-range check but exceeds the volume's
+// deepest meaningful preview level (level 4 of the 16³ demo volume
+// would subsample it to a single voxel per axis). The job must run at
+// the clamped level and the coarse event must report the effective
+// level, not the requested one.
+func TestJobCoarseLevelClampedToVolume(t *testing.T) {
+	a, _, _ := startApp(t, testConfig())
+	base := "http://" + a.apiAddr()
+
+	req := renderRequest{Volume: "demo", View: 1, Views: 8, Width: 48, Height: 48, Workers: 2}
+	id := submitJob(t, base, jobRequest{CoarseLevel: ptr(4), Render: &req})
+
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	var coarse frameEvent
+	sawCoarse := false
+	for {
+		ev, err := readSSE(br)
+		if err != nil {
+			t.Fatalf("SSE stream ended early: %v", err)
+		}
+		if ev.event == "coarse" {
+			sawCoarse = true
+			if err := json.Unmarshal(ev.data, &coarse); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ev.event == "failed" {
+			t.Fatalf("job failed: %s", ev.data)
+		}
+		if ev.event == "done" {
+			break
+		}
+	}
+	if !sawCoarse {
+		t.Fatal("no coarse event (clamp should keep the preview, not drop it)")
+	}
+	// 16³ volume: deepest level with >= 2 samples per axis is 3.
+	if coarse.Level != 3 {
+		t.Errorf("coarse level %d, want 3 (requested 4 clamped to the 16³ volume)", coarse.Level)
+	}
+	if coarse.Width != 16 || coarse.Height != 16 {
+		t.Errorf("coarse frame %dx%d, want 16x16 (48>>3 raised to the 16px floor)", coarse.Width, coarse.Height)
+	}
+}

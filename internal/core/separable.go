@@ -1,7 +1,5 @@
 package core
 
-import "sfcmem/internal/morton"
-
 // Separable is implemented by layouts whose index decomposes into a sum
 // of independent per-axis contributions:
 //
@@ -51,21 +49,6 @@ func (a *ArrayOrder) Strides() (sx, sy, sz int) { return 1, a.nx, a.nx * a.ny }
 // three tables occupy disjoint bit lanes (bits 3n, 3n+1, 3n+2), so
 // summing them equals ORing them.
 func (z *ZOrder) AxisOffsets() (xs, ys, zs []int) { return z.xi, z.yi, z.zi }
-
-// StepX returns the index of (i+1,j,k) given the index of (i,j,k)
-// without any table access: a masked add in the dilated x bit lane
-// (Holzmüller 2017's incremental neighbor finding). The caller must
-// ensure i+1 stays inside the padded extent; stepping past it carries
-// into another lane and corrupts the code.
-func (z *ZOrder) StepX(idx int) int { return int(morton.IncX(uint64(idx))) }
-
-// StepY returns the index of (i,j+1,k) given the index of (i,j,k); see
-// StepX.
-func (z *ZOrder) StepY(idx int) int { return int(morton.IncY(uint64(idx))) }
-
-// StepZ returns the index of (i,j,k+1) given the index of (i,j,k); see
-// StepX.
-func (z *ZOrder) StepZ(idx int) int { return int(morton.IncZ(uint64(idx))) }
 
 // AxisOffsets returns per-axis tables combining each coordinate's brick
 // base and intra-brick offset (xb[i]+xr[i], ...): both depend only on

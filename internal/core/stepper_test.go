@@ -1,0 +1,196 @@
+package core
+
+import "testing"
+
+func TestStepSpecFor(t *testing.T) {
+	if s := StepSpecFor(NewArrayOrder(7, 5, 3)); s.Mode != StepStride || s.Sx != 1 || s.Sy != 7 || s.Sz != 35 {
+		t.Errorf("array spec = %+v", s)
+	}
+	if s := StepSpecFor(NewZOrder(8, 8, 8)); s.Mode != StepMorton {
+		t.Errorf("zorder spec = %+v", s)
+	}
+	if s := StepSpecFor(NewZTiled(20, 20, 20, 8)); s.Mode != StepBrickMorton || s.BrickMask != 7 {
+		t.Errorf("ztiled spec = %+v", s)
+	}
+	for _, l := range []Layout{
+		NewTiled(8, 8, 8, 4), NewHilbert(8, 8, 8), NewHZOrder(8, 8, 8),
+	} {
+		if s := StepSpecFor(l); s.Mode != StepNone {
+			t.Errorf("%s spec = %+v, want StepNone", l.Name(), s)
+		}
+	}
+}
+
+// TestZOrderBackSteppers mirrors TestZOrderSteppers for the subtraction
+// half: any in-grid backward step must agree with Index.
+func TestZOrderBackSteppers(t *testing.T) {
+	z := NewZOrder(12, 8, 5) // non-power-of-two x extent: padded index space
+	for k := 0; k < 5; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 12; i++ {
+				idx := z.Index(i, j, k)
+				if i > 0 && z.BackX(idx) != z.Index(i-1, j, k) {
+					t.Fatalf("BackX broken at (%d,%d,%d)", i, j, k)
+				}
+				if j > 0 && z.BackY(idx) != z.Index(i, j-1, k) {
+					t.Fatalf("BackY broken at (%d,%d,%d)", i, j, k)
+				}
+				if k > 0 && z.BackZ(idx) != z.Index(i, j, k-1) {
+					t.Fatalf("BackZ broken at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestZTiledSteppers walks every cell of a volume whose extents are not
+// brick multiples, so steps cross brick faces in every axis and the last
+// bricks are partial: each of the six directions must agree with Index.
+func TestZTiledSteppers(t *testing.T) {
+	zt := NewZTiled(12, 9, 5, 4)
+	for k := 0; k < 5; k++ {
+		for j := 0; j < 9; j++ {
+			for i := 0; i < 12; i++ {
+				idx := zt.Index(i, j, k)
+				if i+1 < 12 && zt.StepX(idx, i) != zt.Index(i+1, j, k) {
+					t.Fatalf("StepX broken at (%d,%d,%d)", i, j, k)
+				}
+				if j+1 < 9 && zt.StepY(idx, j) != zt.Index(i, j+1, k) {
+					t.Fatalf("StepY broken at (%d,%d,%d)", i, j, k)
+				}
+				if k+1 < 5 && zt.StepZ(idx, k) != zt.Index(i, j, k+1) {
+					t.Fatalf("StepZ broken at (%d,%d,%d)", i, j, k)
+				}
+				if i > 0 && zt.BackX(idx, i) != zt.Index(i-1, j, k) {
+					t.Fatalf("BackX broken at (%d,%d,%d)", i, j, k)
+				}
+				if j > 0 && zt.BackY(idx, j) != zt.Index(i, j-1, k) {
+					t.Fatalf("BackY broken at (%d,%d,%d)", i, j, k)
+				}
+				if k > 0 && zt.BackZ(idx, k) != zt.Index(i, j, k-1) {
+					t.Fatalf("BackZ broken at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestTrySteppersRefuseAtEdges pins the hardened edge behavior: the
+// checked variants must refuse exactly at the logical extent edges —
+// including the padded region of a non-power-of-two ZOrder volume,
+// where the unchecked step would still produce a "valid-looking" index
+// into padding.
+func TestTrySteppersRefuseAtEdges(t *testing.T) {
+	z := NewZOrder(5, 6, 7) // pads to 8x8x8; 5,6 are interior to the padded extent
+	idx := z.Index(4, 5, 6)
+	if _, ok := z.TryStepX(idx); ok {
+		t.Error("zorder TryStepX stepped into x padding")
+	}
+	if _, ok := z.TryStepY(idx); ok {
+		t.Error("zorder TryStepY stepped into y padding")
+	}
+	if _, ok := z.TryStepZ(idx); ok {
+		t.Error("zorder TryStepZ stepped into z padding")
+	}
+	if got, ok := z.TryBackX(idx); !ok || got != z.Index(3, 5, 6) {
+		t.Errorf("zorder TryBackX = %d, %v", got, ok)
+	}
+	origin := z.Index(0, 0, 0)
+	if _, ok := z.TryBackX(origin); ok {
+		t.Error("zorder TryBackX stepped below zero")
+	}
+	if _, ok := z.TryBackY(origin); ok {
+		t.Error("zorder TryBackY stepped below zero")
+	}
+	if _, ok := z.TryBackZ(origin); ok {
+		t.Error("zorder TryBackZ stepped below zero")
+	}
+	if got, ok := z.TryStepX(origin); !ok || got != z.Index(1, 0, 0) {
+		t.Errorf("zorder TryStepX(origin) = %d, %v", got, ok)
+	}
+
+	zt := NewZTiled(10, 10, 10, 4) // partial last bricks on every axis
+	edge := zt.Index(9, 9, 9)
+	if _, ok := zt.TryStepX(edge, 9); ok {
+		t.Error("ztiled TryStepX stepped into partial-brick padding")
+	}
+	if _, ok := zt.TryStepY(edge, 9); ok {
+		t.Error("ztiled TryStepY stepped into partial-brick padding")
+	}
+	if _, ok := zt.TryStepZ(edge, 9); ok {
+		t.Error("ztiled TryStepZ stepped into partial-brick padding")
+	}
+	if got, ok := zt.TryBackX(edge, 9); !ok || got != zt.Index(8, 9, 9) {
+		t.Errorf("ztiled TryBackX = %d, %v", got, ok)
+	}
+	if _, ok := zt.TryBackX(zt.Index(0, 3, 3), 0); ok {
+		t.Error("ztiled TryBackX stepped below zero")
+	}
+}
+
+// FuzzStepperWalk fuzzes extents, brick edges and start cells, then
+// checks that one step in each legal direction lands exactly where
+// Index says the neighbor lives — for ZOrder (padded index space) and
+// ZTiled (brick crossings, partial bricks) alike — and that the checked
+// variants refuse exactly at the extent edges.
+func FuzzStepperWalk(f *testing.F) {
+	f.Add(8, 8, 8, 0, 0, 0, 2)
+	f.Add(12, 9, 5, 11, 8, 4, 1)
+	f.Add(20, 20, 20, 7, 8, 15, 3) // brick 8: (7,8) straddles a face
+	f.Add(33, 17, 2, 31, 16, 1, 4)
+	f.Fuzz(func(t *testing.T, nxRaw, nyRaw, nzRaw, iRaw, jRaw, kRaw, brickRaw int) {
+		nx, ny, nz := fuzzDim(nxRaw), fuzzDim(nyRaw), fuzzDim(nzRaw)
+		i, j, k := fuzzCoord(iRaw, nx), fuzzCoord(jRaw, ny), fuzzCoord(kRaw, nz)
+		brick := 1 << (uint(brickRaw) % 5) // 1..16
+
+		z := NewZOrder(nx, ny, nz)
+		checkWalk(t, "zorder", nx, ny, nz, i, j, k, z,
+			func(idx int) (int, bool) { return z.TryStepX(idx) },
+			func(idx int) (int, bool) { return z.TryStepY(idx) },
+			func(idx int) (int, bool) { return z.TryStepZ(idx) },
+			func(idx int) (int, bool) { return z.TryBackX(idx) },
+			func(idx int) (int, bool) { return z.TryBackY(idx) },
+			func(idx int) (int, bool) { return z.TryBackZ(idx) })
+
+		zt := NewZTiled(nx, ny, nz, brick)
+		checkWalk(t, "ztiled", nx, ny, nz, i, j, k, zt,
+			func(idx int) (int, bool) { return zt.TryStepX(idx, i) },
+			func(idx int) (int, bool) { return zt.TryStepY(idx, j) },
+			func(idx int) (int, bool) { return zt.TryStepZ(idx, k) },
+			func(idx int) (int, bool) { return zt.TryBackX(idx, i) },
+			func(idx int) (int, bool) { return zt.TryBackY(idx, j) },
+			func(idx int) (int, bool) { return zt.TryBackZ(idx, k) })
+	})
+}
+
+func checkWalk(t *testing.T, name string, nx, ny, nz, i, j, k int, l Layout,
+	stepX, stepY, stepZ, backX, backY, backZ func(int) (int, bool)) {
+	t.Helper()
+	idx := l.Index(i, j, k)
+	check := func(dir string, got int, ok bool, wi, wj, wk int) {
+		t.Helper()
+		legal := wi >= 0 && wi < nx && wj >= 0 && wj < ny && wk >= 0 && wk < nz
+		if ok != legal {
+			t.Fatalf("%s %dx%dx%d %s at (%d,%d,%d): ok=%v, want %v", name, nx, ny, nz, dir, i, j, k, ok, legal)
+		}
+		if legal {
+			if want := l.Index(wi, wj, wk); got != want {
+				t.Fatalf("%s %dx%dx%d %s at (%d,%d,%d): idx %d, want %d", name, nx, ny, nz, dir, i, j, k, got, want)
+			}
+		} else if got != idx {
+			t.Fatalf("%s %dx%dx%d %s refused but moved idx %d -> %d", name, nx, ny, nz, dir, idx, got)
+		}
+	}
+	got, ok := stepX(idx)
+	check("+x", got, ok, i+1, j, k)
+	got, ok = stepY(idx)
+	check("+y", got, ok, i, j+1, k)
+	got, ok = stepZ(idx)
+	check("+z", got, ok, i, j, k+1)
+	got, ok = backX(idx)
+	check("-x", got, ok, i-1, j, k)
+	got, ok = backY(idx)
+	check("-y", got, ok, i, j-1, k)
+	got, ok = backZ(idx)
+	check("-z", got, ok, i, j, k-1)
+}

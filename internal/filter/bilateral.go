@@ -32,6 +32,7 @@ import (
 	"math"
 	"strings"
 
+	"sfcmem/internal/core"
 	"sfcmem/internal/grid"
 	"sfcmem/internal/parallel"
 )
@@ -99,6 +100,11 @@ type Options struct {
 	// by the fast-path ablation benches and cross-check tests; traced
 	// views always take the interface path regardless.
 	NoFastPath bool
+	// NoStepper keeps the flat fast path on per-tap offset-table
+	// lookups, disabling the neighbor-stepping stencil walk for layouts
+	// that support one (array, Z order, ZTiled). Used by the stepper
+	// ablation benches and the step-vs-table cross-check tests.
+	NoStepper bool
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +160,11 @@ type kernel struct {
 	invBin   float64 // 1 / LUT bin width
 	scale    float64 // dtype normalization scale (1 for float dtypes)
 	invScale float64 // 1 / scale; multiplying by exactly 1 preserves bits
+	// dilX[t] / dilZ[t] are the x- and z-lane dilated forms of the tap
+	// offset t (Part1By2, shifted into the lane), sized to the stencil
+	// edge. The Morton stepping kernels add them to a row code to
+	// address taps independently of one another (bilateral_step.go).
+	dilX, dilZ []uint64
 }
 
 func newKernel(o Options, scale float64) *kernel {
@@ -179,6 +190,7 @@ func newKernel(o Options, scale float64) *kernel {
 		k.rangeLUT[i] = math.Exp(-x * x / (2 * o.SigmaRange * o.SigmaRange))
 	}
 	k.invBin = rangeLUTSize / span
+	k.dilX, k.dilZ = dilatedOffsets(side)
 	return k
 }
 
@@ -187,10 +199,10 @@ func newKernel(o Options, scale float64) *kernel {
 // systematically read the weight of a larger difference — off by up to
 // a whole bin, and rangeWeight(0) would not be 1.)
 func (k *kernel) rangeWeight(dv float64) float64 {
-	if dv < 0 {
-		dv = -dv
-	}
-	bin := int(dv*k.invBin + 0.5)
+	// math.Abs is a branchless bit-clear; an `if dv < 0` here is a
+	// data-dependent branch the predictor gets wrong about half the
+	// time, and this runs once per stencil tap on every path.
+	bin := int(math.Abs(dv)*k.invBin + 0.5)
 	if bin >= rangeLUTSize {
 		return 0
 	}
@@ -411,6 +423,13 @@ func ApplyViewsCtxOf[T grid.Scalar](ctx context.Context, srcs []grid.ReaderOf[T]
 	pencil := func(w, p int) {
 		i, j, kk, length := parallel.PencilStart(nx, ny, nz, o.Axis, p)
 		if fsrc, fdst := fsrcs[w], fdsts[w]; fsrc != nil && fdst != nil {
+			// Prefer the neighbor-stepping walk when the source layout
+			// exposes one; Tiled (StepNone) and the NoStepper ablation
+			// stay on the per-tap table path.
+			if !o.NoStepper && fsrc.Step.Mode != core.StepNone {
+				stepPencilOf(k, fsrc, fdst, i, j, kk, di, dj, dk, length)
+				return
+			}
 			for s := 0; s < length; s++ {
 				fdst.Data[fdst.X[i]+fdst.Y[j]+fdst.Z[kk]] = voxelFlatOf(k, fsrc, i, j, kk)
 				i, j, kk = i+di, j+dj, kk+dk

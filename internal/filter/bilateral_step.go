@@ -1,0 +1,432 @@
+package filter
+
+// Neighbor-stepping bilateral kernels: the flat fast path's per-tap
+// index resolution (three table loads + two adds, voxelFlatOf) replaced
+// by walking the curve. Each pencil resolves its center index once
+// through the tables; every subsequent index — the next center along
+// the pencil, the stencil's low corner, and all side³ taps — is reached
+// by the layout's neighbor step (core.StepSpec):
+//
+//   - StepStride (array order): constant stride adds.
+//   - StepMorton (Z order): masked dilated-bit inc on the whole index;
+//     the stencil corner is one masked multi-step subtract per lane.
+//   - StepBrickMorton (ZTiled): dilated-bit inc on the intra-brick
+//     Morton bits, per-axis table delta only when a step crosses a
+//     brick face (amortized 1/brick of steps).
+//
+// The walks preserve bit-identity with voxelFlatOf: they visit exactly
+// the same in-bounds taps in the same order with the same float
+// operations, so the result is identical for every dtype (the golden
+// digest tests pin this). The stencil loops never step past the last
+// tap of a row/plane — stepping beyond could carry out of the axis
+// lane (StepMorton, harmless but wasted) or read a per-axis table out
+// of range (StepBrickMorton's crossing fallback, a panic). Pencil
+// advances use the boundary-checked step forms, so a miscounted pencil
+// surfaces as a refused step (index unchanged), never index corruption.
+
+import (
+	"sfcmem/internal/core"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/morton"
+)
+
+// stepBatchBytes is the pencil batch granule: results accumulate into a
+// cache-line-sized stack buffer (64 / sizeof(T) voxels) and flush to
+// the destination in a burst, so the destination walk and its stores
+// stay out of the stencil loop's register pressure.
+const stepBatchBytes = 64
+
+// dilatedOffsets builds the per-kernel tap-offset tables for the Morton
+// stepping kernels: dilX[t] = Part1By2(t), dilZ[t] = Part1By2(t)<<2.
+// Dilating once at kernel setup keeps the inner loops at one table load
+// plus a masked add per tap — fully independent across taps, unlike a
+// serial Inc chain, and far smaller than inlining the dilation's six
+// shift-mask rounds into the loop body.
+func dilatedOffsets(side int) (dilX, dilZ []uint64) {
+	dilX = make([]uint64, side)
+	dilZ = make([]uint64, side)
+	for t := range dilX {
+		d := morton.Part1By2(uint64(t))
+		dilX[t] = d
+		dilZ[t] = d << 2
+	}
+	return dilX, dilZ
+}
+
+// stepPencilOf filters one pencil on the neighbor-stepping path. The
+// source and destination center indices are resolved through the
+// tables once, here; both walks then advance by boundary-checked
+// steps. (di,dj,dk) is the pencil's unit step (exactly one is 1).
+func stepPencilOf[T grid.Scalar](k *kernel, fsrc, fdst *grid.Flat[T], i, j, kk, di, dj, dk, length int) {
+	var buf [stepBatchBytes]T
+	bs := stepBatchBytes / grid.DtypeFor[T]().Size()
+	srcIdx := fsrc.Index(i, j, kk)
+	dstIdx := fdst.Index(i, j, kk)
+	wi, wj, wk := i, j, kk
+	done := 0
+	for done < length {
+		n := min(bs, length-done)
+		for b := 0; b < n; b++ {
+			switch fsrc.Step.Mode {
+			case core.StepStride:
+				buf[b] = voxelStepStride(k, fsrc, i, j, kk, srcIdx)
+			case core.StepMorton:
+				buf[b] = voxelStepMorton(k, fsrc, i, j, kk, srcIdx)
+			default:
+				buf[b] = voxelStepBrick(k, fsrc, i, j, kk, srcIdx)
+			}
+			if done+b+1 < length {
+				srcIdx = stepNextOf(fsrc, srcIdx, i, j, kk, di, dj, dk)
+				i, j, kk = i+di, j+dj, kk+dk
+			}
+		}
+		for b := 0; b < n; b++ {
+			fdst.Data[dstIdx] = buf[b]
+			if done+b+1 < length {
+				dstIdx = stepNextOf(fdst, dstIdx, wi, wj, wk, di, dj, dk)
+				wi, wj, wk = wi+di, wj+dj, wk+dk
+			}
+		}
+		done += n
+	}
+}
+
+// stepNextOf advances a flat index one voxel in the positive pencil
+// direction using the view's boundary-checked step: a refused step (at
+// the extent edge) returns idx unchanged instead of corrupting it.
+// StepNone views (Tiled destination, say) re-resolve through the
+// tables.
+func stepNextOf[T grid.Scalar](f *grid.Flat[T], idx, i, j, kk, di, dj, dk int) int {
+	switch f.Step.Mode {
+	case core.StepStride:
+		return idx + di*f.Step.Sx + dj*f.Step.Sy + dk*f.Step.Sz
+	case core.StepMorton:
+		var c uint64
+		var ok bool
+		switch {
+		case di != 0:
+			c, ok = morton.IncXBounded(uint64(idx), uint32(f.Nx))
+		case dj != 0:
+			c, ok = morton.IncYBounded(uint64(idx), uint32(f.Ny))
+		default:
+			c, ok = morton.IncZBounded(uint64(idx), uint32(f.Nz))
+		}
+		if !ok {
+			return idx
+		}
+		return int(c)
+	case core.StepBrickMorton:
+		mask := f.Step.BrickMask
+		switch {
+		case di != 0:
+			if i+1 >= f.Nx {
+				return idx
+			}
+			if (i+1)&mask != 0 {
+				return int(morton.IncX(uint64(idx)))
+			}
+			return idx + f.X[i+1] - f.X[i]
+		case dj != 0:
+			if j+1 >= f.Ny {
+				return idx
+			}
+			if (j+1)&mask != 0 {
+				return int(morton.IncY(uint64(idx)))
+			}
+			return idx + f.Y[j+1] - f.Y[j]
+		default:
+			if kk+1 >= f.Nz {
+				return idx
+			}
+			if (kk+1)&mask != 0 {
+				return int(morton.IncZ(uint64(idx)))
+			}
+			return idx + f.Z[kk+1] - f.Z[kk]
+		}
+	}
+	ni, nj, nk := i+di, j+dj, kk+dk
+	if ni >= f.Nx || nj >= f.Ny || nk >= f.Nz {
+		return idx
+	}
+	return f.X[ni] + f.Y[nj] + f.Z[nk]
+}
+
+// voxelStepStride is voxelFlatOf for array order: the stencil corner is
+// center + xlo + ylo·nx + zlo·nx·ny and every tap advance is a stride
+// add. Steps past a row or plane's last tap are dead arithmetic on an
+// index that is never dereferenced, so the loops stay branch-free.
+func voxelStepStride[T grid.Scalar](k *kernel, f *grid.Flat[T], i, j, kk, center int) T {
+	r := k.opt.Radius
+	side := 2*r + 1
+	rawCenter := f.Data[center]
+	cv := float64(rawCenter) * k.invScale
+	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
+	ylo, yhi := max(-r, -j), min(r, f.Ny-1-j)
+	zlo, zhi := max(-r, -kk), min(r, f.Nz-1-kk)
+	sx, sy, sz := f.Step.Sx, f.Step.Sy, f.Step.Sz
+	plane := center + xlo*sx + ylo*sy + zlo*sz
+	var num, den float64
+	if k.opt.Order == XYZ && sx == 1 {
+		// Unit x-stride: the stencil row is contiguous in memory, so the
+		// inner loop ranges over a subslice of the data and the matching
+		// spatial-weight window — no per-tap index arithmetic or bounds
+		// checks at all. Tap order and float ops are unchanged.
+		for dz := zlo; dz <= zhi; dz++ {
+			row := plane
+			for dy := ylo; dy <= yhi; dy++ {
+				base := ((dz+r)*side+(dy+r))*side + r
+				sp := k.spatial[base+xlo : base+xhi+1]
+				for t, raw := range f.Data[row : row+xhi-xlo+1] {
+					v := float64(raw) * k.invScale
+					w := sp[t] * k.rangeWeight(v-cv)
+					num += w * v
+					den += w
+				}
+				row += sy
+			}
+			plane += sz
+		}
+	} else if k.opt.Order == XYZ {
+		for dz := zlo; dz <= zhi; dz++ {
+			row := plane
+			for dy := ylo; dy <= yhi; dy++ {
+				base := ((dz+r)*side+(dy+r))*side + r
+				idx := row
+				for dx := xlo; dx <= xhi; dx++ {
+					v := float64(f.Data[idx]) * k.invScale
+					w := k.spatial[base+dx] * k.rangeWeight(v-cv)
+					num += w * v
+					den += w
+					idx += sx
+				}
+				row += sy
+			}
+			plane += sz
+		}
+	} else {
+		s2 := side * side
+		for dx := xlo; dx <= xhi; dx++ {
+			row := plane
+			for dy := ylo; dy <= yhi; dy++ {
+				sbase := (dy+r)*side + dx + r
+				idx := row
+				for dz := zlo; dz <= zhi; dz++ {
+					v := float64(f.Data[idx]) * k.invScale
+					w := k.spatial[(dz+r)*s2+sbase] * k.rangeWeight(v-cv)
+					num += w * v
+					den += w
+					idx += sz
+				}
+				row += sy
+			}
+			plane += sx
+		}
+	}
+	if den == 0 {
+		return rawCenter
+	}
+	return grid.FromNorm[T](num/den, k.scale)
+}
+
+// voxelStepMorton is voxelFlatOf for Z order: the flat index is the
+// Morton code, so the stencil corner is one masked multi-step subtract
+// per dilated lane — no table access anywhere in the stencil. The inner
+// loop's taps are addressed as independent masked multi-step adds from
+// the row code (dilate the tap offset, add in the lane): a serial
+// cc = Inc(cc) chain would put ~4 dependent ops on the critical path
+// per tap, while the dilated offsets depend only on the loop counter,
+// so the address math runs entirely under the accumulation chain.
+// Row and plane advances stay single masked adds; they are off the
+// per-tap path and cannot carry out of their lane.
+func voxelStepMorton[T grid.Scalar](k *kernel, f *grid.Flat[T], i, j, kk, center int) T {
+	r := k.opt.Radius
+	side := 2*r + 1
+	rawCenter := f.Data[center]
+	cv := float64(rawCenter) * k.invScale
+	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
+	ylo, yhi := max(-r, -j), min(r, f.Ny-1-j)
+	zlo, zhi := max(-r, -kk), min(r, f.Nz-1-kk)
+	c := uint64(center)
+	c = (((c & morton.XMask) - morton.Part1By2(uint64(-xlo))) & morton.XMask) | (c &^ morton.XMask)
+	c = (((c & morton.YMask) - (morton.Part1By2(uint64(-ylo)) << 1)) & morton.YMask) | (c &^ morton.YMask)
+	c = (((c & morton.ZMask) - (morton.Part1By2(uint64(-zlo)) << 2)) & morton.ZMask) | (c &^ morton.ZMask)
+	data, dilX := f.Data, k.dilX
+	var num, den float64
+	if k.opt.Order == XYZ {
+		for dz := zlo; dz <= zhi; dz++ {
+			row := c
+			for dy := ylo; dy <= yhi; dy++ {
+				base := ((dz+r)*side+(dy+r))*side + r
+				orr, hi := row|^morton.XMask, row&^morton.XMask
+				sp := k.spatial[base+xlo : base+xhi+1]
+				for t, d := range dilX[:xhi-xlo+1] {
+					cc := ((orr + d) & morton.XMask) | hi
+					v := float64(data[cc]) * k.invScale
+					w := sp[t] * k.rangeWeight(v-cv)
+					num += w * v
+					den += w
+				}
+				row = morton.IncY(row)
+			}
+			c = morton.IncZ(c)
+		}
+	} else {
+		s2 := side * side
+		dilZ := k.dilZ
+		for dx := xlo; dx <= xhi; dx++ {
+			row := c
+			for dy := ylo; dy <= yhi; dy++ {
+				sbase := (dy+r)*side + dx + r
+				orr, hi := row|^morton.ZMask, row&^morton.ZMask
+				for t, d := range dilZ[:zhi-zlo+1] {
+					cc := ((orr + d) & morton.ZMask) | hi
+					v := float64(data[cc]) * k.invScale
+					w := k.spatial[(zlo+t+r)*s2+sbase] * k.rangeWeight(v-cv)
+					num += w * v
+					den += w
+				}
+				row = morton.IncY(row)
+			}
+			c = morton.IncX(c)
+		}
+	}
+	if den == 0 {
+		return rawCenter
+	}
+	return grid.FromNorm[T](num/den, k.scale)
+}
+
+// voxelStepBrick is voxelFlatOf for ZTiled: the inner stencil loop
+// splits each row into brick runs. Taps inside a run are addressed as
+// independent masked dilated-bit adds from the run's start code, just
+// like the Z-order kernel (a run never carries past the intra-brick
+// lane bits because its length is capped at the brick face); crossing
+// a face takes the per-axis table delta, amortized to 1/brick of the
+// advances. The crossing reads the table at the walk's own in-bounds
+// coordinates only — the walk never steps past a row or plane's last
+// tap, so the fallback cannot read the table out of range.
+func voxelStepBrick[T grid.Scalar](k *kernel, f *grid.Flat[T], i, j, kk, center int) T {
+	r := k.opt.Radius
+	side := 2*r + 1
+	rawCenter := f.Data[center]
+	cv := float64(rawCenter) * k.invScale
+	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
+	ylo, yhi := max(-r, -j), min(r, f.Ny-1-j)
+	zlo, zhi := max(-r, -kk), min(r, f.Nz-1-kk)
+	mask := f.Step.BrickMask
+	// Walk from the center back to the stencil's low corner, one
+	// boundary-legal step at a time (at most radius steps per axis).
+	corner := center
+	for c := i; c > i+xlo; c-- {
+		if c&mask != 0 {
+			corner = int(morton.DecX(uint64(corner)))
+		} else {
+			corner += f.X[c-1] - f.X[c]
+		}
+	}
+	for c := j; c > j+ylo; c-- {
+		if c&mask != 0 {
+			corner = int(morton.DecY(uint64(corner)))
+		} else {
+			corner += f.Y[c-1] - f.Y[c]
+		}
+	}
+	for c := kk; c > kk+zlo; c-- {
+		if c&mask != 0 {
+			corner = int(morton.DecZ(uint64(corner)))
+		} else {
+			corner += f.Z[c-1] - f.Z[c]
+		}
+	}
+	data := f.Data
+	var num, den float64
+	if k.opt.Order == XYZ {
+		plane := corner
+		for dz := zlo; dz <= zhi; dz++ {
+			row := plane
+			for dy := ylo; dy <= yhi; dy++ {
+				base := ((dz+r)*side+(dy+r))*side + r
+				idx := row
+				for dx := xlo; dx <= xhi; {
+					x := i + dx
+					run := min(xhi-dx, mask-x&mask) + 1
+					orr, hi := uint64(idx)|^morton.XMask, uint64(idx)&^morton.XMask
+					sp := k.spatial[base+dx : base+dx+run]
+					for t, d := range k.dilX[:run] {
+						cc := ((orr + d) & morton.XMask) | hi
+						v := float64(data[cc]) * k.invScale
+						w := sp[t] * k.rangeWeight(v-cv)
+						num += w * v
+						den += w
+					}
+					dx += run
+					if dx > xhi {
+						break
+					}
+					last := int(((orr + k.dilX[run-1]) & morton.XMask) | hi)
+					idx = last + f.X[x+run] - f.X[x+run-1]
+				}
+				if dy < yhi {
+					if y := j + dy; (y+1)&mask != 0 {
+						row = int(morton.IncY(uint64(row)))
+					} else {
+						row += f.Y[y+1] - f.Y[y]
+					}
+				}
+			}
+			if dz < zhi {
+				if z := kk + dz; (z+1)&mask != 0 {
+					plane = int(morton.IncZ(uint64(plane)))
+				} else {
+					plane += f.Z[z+1] - f.Z[z]
+				}
+			}
+		}
+	} else {
+		s2 := side * side
+		plane := corner
+		for dx := xlo; dx <= xhi; dx++ {
+			row := plane
+			for dy := ylo; dy <= yhi; dy++ {
+				sbase := (dy+r)*side + dx + r
+				idx := row
+				for dz := zlo; dz <= zhi; {
+					z := kk + dz
+					run := min(zhi-dz, mask-z&mask) + 1
+					orr, hi := uint64(idx)|^morton.ZMask, uint64(idx)&^morton.ZMask
+					for t, d := range k.dilZ[:run] {
+						cc := ((orr + d) & morton.ZMask) | hi
+						v := float64(data[cc]) * k.invScale
+						w := k.spatial[(dz+t+r)*s2+sbase] * k.rangeWeight(v-cv)
+						num += w * v
+						den += w
+					}
+					dz += run
+					if dz > zhi {
+						break
+					}
+					last := int(((orr + k.dilZ[run-1]) & morton.ZMask) | hi)
+					idx = last + f.Z[z+run] - f.Z[z+run-1]
+				}
+				if dy < yhi {
+					if y := j + dy; (y+1)&mask != 0 {
+						row = int(morton.IncY(uint64(row)))
+					} else {
+						row += f.Y[y+1] - f.Y[y]
+					}
+				}
+			}
+			if dx < xhi {
+				if x := i + dx; (x+1)&mask != 0 {
+					plane = int(morton.IncX(uint64(plane)))
+				} else {
+					plane += f.X[x+1] - f.X[x]
+				}
+			}
+		}
+	}
+	if den == 0 {
+		return rawCenter
+	}
+	return grid.FromNorm[T](num/den, k.scale)
+}

@@ -1,0 +1,142 @@
+package filter
+
+import (
+	"testing"
+
+	"sfcmem/internal/core"
+	"sfcmem/internal/grid"
+	"sfcmem/internal/parallel"
+	"sfcmem/internal/volume"
+)
+
+// checkStepperGeometry compares the neighbor-stepping walk against the
+// per-tap table path and the generic interface path, tap for tap: all
+// three must be bitwise identical over a volume chosen so the stencil
+// exercises the stepper's hard geometry — brick-straddling pencils
+// (extents that are not brick multiples), padded non-power-of-two
+// Z-order index space, and stencils clipped by every volume face.
+func checkStepperGeometry[T grid.Scalar](t *testing.T, l core.Layout, radius int, order Order, axis parallel.Axis) {
+	t.Helper()
+	src := volume.MRIPhantomOf[T](l, 17, 0.05)
+	o := Options{Radius: radius, Order: order, Axis: axis, Workers: 3}
+
+	step := grid.NewOf[T](l)
+	if err := ApplyOf[T](src, step, o); err != nil {
+		t.Fatal(err)
+	}
+	table := grid.NewOf[T](l)
+	oTable := o
+	oTable.NoStepper = true
+	if err := ApplyOf[T](src, table, oTable); err != nil {
+		t.Fatal(err)
+	}
+	iface := grid.NewOf[T](l)
+	oIface := o
+	oIface.NoFastPath = true
+	if err := ApplyOf[T](src, iface, oIface); err != nil {
+		t.Fatal(err)
+	}
+	if !grid.Equal(step, table) {
+		t.Errorf("%s/%v/r%d/%v/%v: stepping walk disagrees with table path",
+			l.Name(), grid.DtypeFor[T](), radius, order, axis)
+	}
+	if !grid.Equal(step, iface) {
+		t.Errorf("%s/%v/r%d/%v/%v: stepping walk disagrees with interface path",
+			l.Name(), grid.DtypeFor[T](), radius, order, axis)
+	}
+}
+
+// TestStepperEdgeGeometry is the stepper's geometry gauntlet: ZTiled
+// with a small brick so radius-3 stencils straddle two brick faces at
+// once and the last bricks are partial on every axis; Z order with
+// non-power-of-two extents so walks run beside padded index space; and
+// array order for the stride degenerate case. Both stencil orders and
+// both paper pencil axes, at a radius larger than the brick remainder.
+func TestStepperEdgeGeometry(t *testing.T) {
+	layouts := []core.Layout{
+		core.NewZTiled(11, 9, 10, 4), // partial bricks on all axes
+		core.NewZTiled(8, 12, 8, 8),  // pencils cross one brick face
+		core.NewZOrder(13, 6, 9),     // pads to 16x8x16
+		core.NewArrayOrder(13, 6, 9), // stride walk
+	}
+	for _, l := range layouts {
+		for _, order := range []Order{XYZ, ZYX} {
+			for _, axis := range []parallel.Axis{parallel.AxisX, parallel.AxisZ} {
+				checkStepperGeometry[float32](t, l, 3, order, axis)
+			}
+		}
+	}
+}
+
+// TestStepperEdgeGeometryDtypes re-runs the gauntlet's hardest cell —
+// brick-straddling ZTiled and padded Z order — for every element type,
+// since the batched pencil driver's batch width depends on the dtype
+// (64/sizeof(T) voxels) and integer dtypes round on store.
+func TestStepperEdgeGeometryDtypes(t *testing.T) {
+	for _, l := range []core.Layout{
+		core.NewZTiled(11, 9, 10, 4),
+		core.NewZOrder(13, 6, 9),
+	} {
+		checkStepperGeometry[uint8](t, l, 2, XYZ, parallel.AxisX)
+		checkStepperGeometry[uint16](t, l, 2, XYZ, parallel.AxisX)
+		checkStepperGeometry[float32](t, l, 2, ZYX, parallel.AxisZ)
+		checkStepperGeometry[float64](t, l, 2, ZYX, parallel.AxisZ)
+	}
+}
+
+// TestStepperRadiusExceedsBrick pins the case where the stencil is
+// wider than a whole brick (radius 5 over brick 4): every stencil row
+// crosses at least two brick faces, so the walk's table-fallback steps
+// dominate and any off-by-one in the crossing detection corrupts taps.
+func TestStepperRadiusExceedsBrick(t *testing.T) {
+	l := core.NewZTiled(14, 12, 9, 4)
+	checkStepperGeometry[float32](t, l, 5, XYZ, parallel.AxisX)
+	checkStepperGeometry[float32](t, l, 5, ZYX, parallel.AxisZ)
+}
+
+// TestStepperBrickOne is the degenerate brick==1 ZTiled: the brick mask
+// is zero, so every step must take the table fallback (there are no
+// intra-brick bits to walk).
+func TestStepperBrickOne(t *testing.T) {
+	l := core.NewZTiled(7, 6, 5, 1)
+	checkStepperGeometry[float32](t, l, 2, XYZ, parallel.AxisX)
+}
+
+// TestStepperTiledStaysOnTables pins the dispatch: Tiled has no
+// neighbor walk (StepNone), so the fast path must keep its per-tap
+// table behavior — with and without the NoStepper ablation toggle.
+func TestStepperTiledStaysOnTables(t *testing.T) {
+	l := core.NewTiled(11, 9, 10, 4)
+	checkStepperGeometry[float32](t, l, 2, XYZ, parallel.AxisX)
+}
+
+// TestStepperMixedLayouts filters from a steppable source into a
+// destination with a different layout (and vice versa): the source
+// stencil walk and the destination write walk resolve their StepSpecs
+// independently, including a StepNone destination behind a steppable
+// source.
+func TestStepperMixedLayouts(t *testing.T) {
+	const nx, ny, nz = 11, 9, 10
+	srcL := core.NewZTiled(nx, ny, nz, 4)
+	src := volume.MRIPhantomOf[float32](srcL, 23, 0.05)
+	o := Options{Radius: 2, Workers: 2}
+	for _, dstL := range []core.Layout{
+		core.NewArrayOrder(nx, ny, nz),
+		core.NewZOrder(nx, ny, nz),
+		core.NewTiled(nx, ny, nz, 4), // StepNone destination
+	} {
+		step := grid.NewOf[float32](dstL)
+		if err := ApplyOf[float32](src, step, o); err != nil {
+			t.Fatal(err)
+		}
+		oTable := o
+		oTable.NoStepper = true
+		table := grid.NewOf[float32](dstL)
+		if err := ApplyOf[float32](src, table, oTable); err != nil {
+			t.Fatal(err)
+		}
+		if !grid.Equal(step, table) {
+			t.Errorf("ztiled -> %s: stepping walk disagrees with table path", dstL.Name())
+		}
+	}
+}

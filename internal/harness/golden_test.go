@@ -64,7 +64,7 @@ func gridDigest(g *grid.Grid[float32]) string {
 func TestGoldenFloat32Bilateral(t *testing.T) {
 	const nx, ny, nz = 40, 36, 28
 	base := volume.MRIPhantom(core.NewArrayOrder(nx, ny, nz), 7, 0.05)
-	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.TiledKind, core.HilbertKind} {
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.TiledKind, core.ZTiledKind, core.HilbertKind} {
 		src, err := base.Relayout(core.New(kind, nx, ny, nz))
 		if err != nil {
 			t.Fatal(err)
@@ -77,20 +77,117 @@ func TestGoldenFloat32Bilateral(t *testing.T) {
 			{"px-xyz", parallel.AxisX, filter.XYZ},
 			{"pz-zyx", parallel.AxisZ, filter.ZYX},
 		} {
-			for _, noFast := range []bool{false, true} {
+			// Three access paths share one digest: the neighbor-stepping
+			// walk (default), the per-tap table path (NoStepper), and
+			// the generic interface path (NoFastPath).
+			for _, path := range []struct {
+				label          string
+				noFast, noStep bool
+			}{
+				{"step", false, false},
+				{"table", false, true},
+				{"iface", true, false},
+			} {
 				dst := grid.New(core.New(kind, nx, ny, nz))
 				err := filter.Apply(src, dst, filter.Options{
-					Radius: 2, Axis: cfg.axis, Order: cfg.order, Workers: 3, NoFastPath: noFast,
+					Radius: 2, Axis: cfg.axis, Order: cfg.order, Workers: 3,
+					NoFastPath: path.noFast, NoStepper: path.noStep,
 				})
 				if err != nil {
 					t.Fatal(err)
 				}
 				if got := gridDigest(dst); got != goldenBilat {
-					t.Errorf("bilat %v %s nofast=%v: hash %s, want %s (float32 output drifted from pre-generic kernel)",
-						kind, cfg.label, noFast, got, goldenBilat)
+					t.Errorf("bilat %v %s %s: hash %s, want %s (float32 output drifted from pre-generic kernel)",
+						kind, cfg.label, path.label, got, goldenBilat)
 				}
 			}
 		}
+	}
+}
+
+// hashGridOf is hashGrid for any element type: logical (k,j,i) iteration
+// makes the digest layout-independent, and samples serialize as their
+// storage bits little-endian (1/2/4/8 bytes), so a digest pins the exact
+// stored values of a configuration across layouts and access paths.
+func hashGridOf[T grid.Scalar](h hash.Hash, g *grid.Grid[T]) {
+	nx, ny, nz := g.Dims()
+	var buf [8]byte
+	size := grid.DtypeFor[T]().Size()
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				switch v := any(g.At(i, j, k)).(type) {
+				case uint8:
+					buf[0] = v
+				case uint16:
+					binary.LittleEndian.PutUint16(buf[:2], v)
+				case float32:
+					binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(v))
+				case float64:
+					binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v))
+				}
+				h.Write(buf[:size])
+			}
+		}
+	}
+}
+
+func gridDigestOf[T grid.Scalar](g *grid.Grid[T]) string {
+	h := sha256.New()
+	hashGridOf(h, g)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// goldenBilatDtype pins the bilateral filter's exact output per element
+// type, captured on the revision that introduced the neighbor-stepping
+// kernels. checkGoldenBilatDtype verifies all three access paths against
+// it, so integer rounding, normalization, and the stepping walk are all
+// locked per dtype.
+var goldenBilatDtype = map[grid.Dtype]string{
+	grid.U8:  "2d62755cd234c65e0241dc351e695508129b178b34da02a5a8f1d6bce78e086e",
+	grid.U16: "910863f2f50bae02cc314b583313af90d22b1d902bc5b95ec1ee5338e583e8c9",
+	grid.F32: goldenBilat, // same configuration as the float32 golden
+	grid.F64: "5f42d51f5f8af718319346c15ed5adc8ef422dad5604aa7de33785b6d8e0f89f",
+}
+
+func checkGoldenBilatDtype[T grid.Scalar](t *testing.T, kind core.Kind) {
+	t.Helper()
+	const nx, ny, nz = 40, 36, 28
+	want := goldenBilatDtype[grid.DtypeFor[T]()]
+	src := volume.MRIPhantomOf[T](core.New(kind, nx, ny, nz), 7, 0.05)
+	for _, path := range []struct {
+		label          string
+		noFast, noStep bool
+	}{
+		{"step", false, false},
+		{"table", false, true},
+		{"iface", true, false},
+	} {
+		dst := grid.NewOf[T](core.New(kind, nx, ny, nz))
+		err := filter.ApplyOf[T](src, dst, filter.Options{
+			Radius: 2, Axis: parallel.AxisX, Order: filter.XYZ, Workers: 3,
+			NoFastPath: path.noFast, NoStepper: path.noStep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := gridDigestOf(dst); got != want {
+			t.Errorf("bilat %v %v %s: hash %s, want %s",
+				grid.DtypeFor[T](), kind, path.label, got, want)
+		}
+	}
+}
+
+// TestGoldenBilateralDtypes pins the per-dtype bilateral output across
+// the stepping, table, and interface paths on the two curve layouts the
+// stepper walks hardest (whole-volume Morton and Morton-in-bricks) plus
+// the stride layout. One digest per dtype across all of it.
+func TestGoldenBilateralDtypes(t *testing.T) {
+	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.ZTiledKind} {
+		checkGoldenBilatDtype[uint8](t, kind)
+		checkGoldenBilatDtype[uint16](t, kind)
+		checkGoldenBilatDtype[float32](t, kind)
+		checkGoldenBilatDtype[float64](t, kind)
 	}
 }
 

@@ -1,0 +1,77 @@
+package harness
+
+// Cache-simulated ablation for the neighbor-stepping stencil kernels
+// (DESIGN.md §13): the stepping and table-lookup flat paths touch the
+// same data elements in the same order, so their wall-clock difference
+// is pure index-resolution cost. What the simulator can add is the
+// memory-system view of that cost: the table path streams per-axis
+// offset-table loads alongside the data stream, the stepping path does
+// not. SimBilatStepTraffic replays the identical bilateral access
+// pattern both ways and reports the two cache Reports side by side.
+
+import (
+	"context"
+
+	"sfcmem/internal/cache"
+	"sfcmem/internal/core"
+	"sfcmem/internal/filter"
+	"sfcmem/internal/grid"
+)
+
+// Simulated address-space bases for the offset tables: far from both
+// the source volume (0) and the destination (dstBase), and from each
+// other, so table lines never alias volume lines.
+const (
+	srcTableBase = 1 << 41
+	dstTableBase = 1<<41 + 1<<20
+)
+
+// StepTraffic pairs the simulated reports for one bilateral
+// configuration replayed as the stepping kernel issues it (Step: data
+// accesses only) and as the table kernel issues it (Table: data plus
+// offset-table loads, with the y/z lookups hoisted per row/plane just
+// like the real loop nest).
+type StepTraffic struct {
+	Step, Table cache.Report
+}
+
+// SimBilatStepTraffic replays one bilateral configuration through the
+// cache simulator twice — once per kernel flavor — and returns both
+// reports. The data access streams are identical by construction
+// (bit-identical kernels); only the table loads differ.
+func SimBilatStepTraffic(in *BilatInput, kind core.Kind, row BilatRow, threads int, platform cache.Platform) (StepTraffic, error) {
+	var out StepTraffic
+	src := in.Src[kind]
+	nx, ny, nz := src.Dims()
+
+	run := func(tables bool) (cache.Report, error) {
+		dst := grid.New(core.New(kind, nx, ny, nz))
+		sys := cache.NewSystem(platform, threads)
+		srcs := make([]grid.Reader, threads)
+		dsts := make([]grid.Writer, threads)
+		for w := 0; w < threads; w++ {
+			front := sys.Front(w)
+			if tables {
+				srcs[w] = grid.NewTracedTables(src, 0, srcTableBase, front)
+				dsts[w] = grid.NewTracedTables(dst, dstBase, dstTableBase, front)
+			} else {
+				srcs[w] = grid.NewTraced(src, 0, front)
+				dsts[w] = grid.NewTraced(dst, dstBase, front)
+			}
+		}
+		o := row.options(threads)
+		if err := filter.ApplyViewsCtx(context.Background(), srcs, dsts, o); err != nil {
+			return cache.Report{}, err
+		}
+		return sys.Report(), nil
+	}
+
+	var err error
+	if out.Step, err = run(false); err != nil {
+		return out, err
+	}
+	if out.Table, err = run(true); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -332,3 +332,70 @@ func BenchmarkDecode3(b *testing.B) {
 }
 
 var benchSink uint64
+
+func TestDecXYZ(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x = x&Max3 | 1 // keep every coordinate >= 1 so the decrement is legal
+		y = y&Max3 | 1
+		z = z&Max3 | 1
+		c := Encode3(x, y, z)
+		return DecX(c) == Encode3(x-1, y, z) &&
+			DecY(c) == Encode3(x, y-1, z) &&
+			DecZ(c) == Encode3(x, y, z-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncDecRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= Max3 - 1
+		y &= Max3 - 1
+		z &= Max3 - 1
+		c := Encode3(x, y, z)
+		return DecX(IncX(c)) == c && DecY(IncY(c)) == c && DecZ(IncZ(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedStepsRefuseAtEdges(t *testing.T) {
+	c := Encode3(7, 3, 0)
+	if _, ok := IncXBounded(c, 8); ok {
+		t.Error("IncXBounded stepped past its limit")
+	}
+	if got, ok := IncXBounded(c, 9); !ok || got != Encode3(8, 3, 0) {
+		t.Errorf("IncXBounded(%d, 9) = %d, %v", c, got, ok)
+	}
+	if _, ok := IncYBounded(c, 4); ok {
+		t.Error("IncYBounded stepped past its limit")
+	}
+	if got, ok := IncYBounded(c, 5); !ok || got != Encode3(7, 4, 0) {
+		t.Errorf("IncYBounded = %d, %v", got, ok)
+	}
+	if _, ok := IncZBounded(c, 1); ok {
+		t.Error("IncZBounded stepped past its limit")
+	}
+	if got, ok := IncZBounded(c, 2); !ok || got != Encode3(7, 3, 1) {
+		t.Errorf("IncZBounded = %d, %v", got, ok)
+	}
+	if _, ok := DecZBounded(c); ok {
+		t.Error("DecZBounded stepped below zero")
+	}
+	if got, ok := DecXBounded(c); !ok || got != Encode3(6, 3, 0) {
+		t.Errorf("DecXBounded = %d, %v", got, ok)
+	}
+	if got, ok := DecYBounded(c); !ok || got != Encode3(7, 2, 0) {
+		t.Errorf("DecYBounded = %d, %v", got, ok)
+	}
+	zero := Encode3(0, 0, 0)
+	for name, step := range map[string]func(uint64) (uint64, bool){
+		"DecXBounded": DecXBounded, "DecYBounded": DecYBounded, "DecZBounded": DecZBounded,
+	} {
+		if _, ok := step(zero); ok {
+			t.Errorf("%s stepped below zero at the origin", name)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package tune
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"sfcmem/internal/cache"
 	"sfcmem/internal/core"
@@ -25,6 +26,27 @@ import (
 type Result struct {
 	Param int
 	Score float64 // lower is better
+}
+
+// Rejection records a candidate excluded before evaluation and why. When
+// every candidate is rejected, the sweep error enumerates these instead
+// of reporting a bare "no candidate parameters" — so a caller who passed
+// {64} on a 32³ volume learns the candidate exceeded the volume edge,
+// not merely that nothing was left.
+type Rejection struct {
+	Param  int
+	Reason string
+}
+
+func (r Rejection) String() string { return fmt.Sprintf("%d (%s)", r.Param, r.Reason) }
+
+// rejectedErr formats the all-candidates-rejected failure.
+func rejectedErr(what string, rejected []Rejection) error {
+	msgs := make([]string, len(rejected))
+	for i, r := range rejected {
+		msgs[i] = r.String()
+	}
+	return fmt.Errorf("tune: every %s candidate was rejected: %s", what, strings.Join(msgs, ", "))
 }
 
 // Sweep evaluates eval for every candidate and returns the parameter
@@ -83,17 +105,27 @@ func simFilter(cfg FilterConfig, layout core.Layout) (uint64, error) {
 
 // TileSize tunes the Tiled layout's tile edge over the candidates
 // (default {2,4,8,16,32} when nil), scoring each by the simulated paper
-// counter for the configured filter run. Candidates larger than the
-// volume edge are skipped.
+// counter for the configured filter run. Unusable candidates (non-
+// positive, or larger than the volume edge) are skipped; if that skips
+// all of them, the error names each rejected candidate and the reason.
 func TileSize(cfg FilterConfig, candidates []int) (best int, results []Result, err error) {
 	if candidates == nil {
 		candidates = []int{2, 4, 8, 16, 32}
 	}
-	valid := candidates[:0:0]
+	var valid []int
+	var rejected []Rejection
 	for _, c := range candidates {
-		if c >= 1 && c <= cfg.Size {
+		switch {
+		case c < 1:
+			rejected = append(rejected, Rejection{c, "not positive"})
+		case c > cfg.Size:
+			rejected = append(rejected, Rejection{c, fmt.Sprintf("exceeds volume edge %d", cfg.Size)})
+		default:
 			valid = append(valid, c)
 		}
+	}
+	if len(valid) == 0 && len(rejected) > 0 {
+		return 0, nil, rejectedErr("tile-edge", rejected)
 	}
 	return Sweep(valid, func(tile int) (float64, error) {
 		m, err := simFilter(cfg, core.NewTiled(cfg.Size, cfg.Size, cfg.Size, tile))
@@ -102,16 +134,28 @@ func TileSize(cfg FilterConfig, candidates []int) (best int, results []Result, e
 }
 
 // BrickSize tunes the ZTiled layout's brick edge over power-of-two
-// candidates (default {4,8,16,32} when nil).
+// candidates (default {4,8,16,32} when nil). Rejection reporting works
+// like TileSize, with the additional power-of-two requirement.
 func BrickSize(cfg FilterConfig, candidates []int) (best int, results []Result, err error) {
 	if candidates == nil {
 		candidates = []int{4, 8, 16, 32}
 	}
-	valid := candidates[:0:0]
+	var valid []int
+	var rejected []Rejection
 	for _, c := range candidates {
-		if c >= 1 && c <= cfg.Size && c&(c-1) == 0 {
+		switch {
+		case c < 1:
+			rejected = append(rejected, Rejection{c, "not positive"})
+		case c > cfg.Size:
+			rejected = append(rejected, Rejection{c, fmt.Sprintf("exceeds volume edge %d", cfg.Size)})
+		case c&(c-1) != 0:
+			rejected = append(rejected, Rejection{c, "not a power of two"})
+		default:
 			valid = append(valid, c)
 		}
+	}
+	if len(valid) == 0 && len(rejected) > 0 {
+		return 0, nil, rejectedErr("brick-edge", rejected)
 	}
 	return Sweep(valid, func(brick int) (float64, error) {
 		m, err := simFilter(cfg, core.NewZTiled(cfg.Size, cfg.Size, cfg.Size, brick))

@@ -2,6 +2,7 @@ package tune
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"sfcmem/internal/cache"
@@ -112,5 +113,40 @@ func TestDefaultCandidates(t *testing.T) {
 	}
 	if _, results, err := BrickSize(cfg, nil); err != nil || len(results) == 0 {
 		t.Errorf("default brick sweep: %v, %d results", err, len(results))
+	}
+}
+
+func TestAllCandidatesRejectedNamesReasons(t *testing.T) {
+	// When filtering leaves nothing to evaluate, the error must name
+	// each rejected candidate and why — not a bare "no candidates".
+	_, _, err := TileSize(testConfig(), []int{0, 999})
+	if err == nil {
+		t.Fatal("all-rejected tile sweep accepted")
+	}
+	for _, want := range []string{"0 (not positive)", "999 (exceeds volume edge 24)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("tile error %q missing %q", err, want)
+		}
+	}
+
+	_, _, err = BrickSize(testConfig(), []int{-4, 3, 64})
+	if err == nil {
+		t.Fatal("all-rejected brick sweep accepted")
+	}
+	for _, want := range []string{"-4 (not positive)", "3 (not a power of two)", "64 (exceeds volume edge 24)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("brick error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestEmptyCandidateListStillErrors(t *testing.T) {
+	// An explicitly empty list has nothing to report reasons for; the
+	// plain empty-sweep error remains.
+	if _, _, err := TileSize(testConfig(), []int{}); err == nil {
+		t.Error("empty tile candidate list accepted")
+	}
+	if _, _, err := BrickSize(testConfig(), []int{}); err == nil {
+		t.Error("empty brick candidate list accepted")
 	}
 }
