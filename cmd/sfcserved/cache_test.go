@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sfcmem"
+	"sfcmem/internal/store"
 )
 
 // cacheConfig is testConfig with the response cache switched on.
@@ -49,19 +50,19 @@ func postWithHeader(t *testing.T, url string, body any, header, value string) *h
 // reuploadDemo PUTs the demo volume's own bytes back over itself: the
 // contents are unchanged but the store generation must bump, stranding
 // every cached digest for the old generation.
-func reuploadDemo(t *testing.T, a *app) volumeInfo {
+func reuploadDemo(t *testing.T, a *app) store.Info {
 	t.Helper()
-	v, ok := a.srv.store.get("demo")
-	if !ok {
+	v, err := a.srv.store.Get("demo")
+	if err != nil {
 		t.Fatal("demo volume missing")
 	}
 	var raw bytes.Buffer
-	if err := sfcmem.SaveRawAny(&raw, v.grid); err != nil {
+	if err := sfcmem.SaveRawAny(&raw, v.Grid); err != nil {
 		t.Fatal(err)
 	}
-	nx, ny, nz := v.grid.Dims()
-	url := "http://" + a.apiAddr() + "/volumes/demo?dtype=" + v.grid.Dtype().String() +
-		"&layout=" + v.layout
+	nx, ny, nz := v.Grid.Dims()
+	url := "http://" + a.apiAddr() + "/volumes/demo?dtype=" + v.Grid.Dtype().String() +
+		"&layout=" + v.Layout
 	url += "&nx=" + itoa(nx) + "&ny=" + itoa(ny) + "&nz=" + itoa(nz)
 	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(raw.Bytes()))
 	if err != nil {
@@ -76,7 +77,7 @@ func reuploadDemo(t *testing.T, a *app) volumeInfo {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("re-upload: status %d body %s", resp.StatusCode, body)
 	}
-	var info volumeInfo
+	var info store.Info
 	if err := json.Unmarshal(body, &info); err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestFilterCacheAndETag(t *testing.T) {
 	if etag == "" {
 		t.Fatal("filter response has no ETag")
 	}
-	if _, ok := a.srv.store.get("demo.filtered"); !ok {
+	if _, err := a.srv.store.Get("demo.filtered"); err != nil {
 		t.Fatal("filtered volume not stored")
 	}
 
@@ -331,9 +332,9 @@ func TestFilterCacheAndETag(t *testing.T) {
 		t.Errorf("cached filter response differs: %s vs %s", first, second)
 	}
 	// The destination volume's generation did not advance on the hit:
-	// the kernel (and its store.put) ran once.
-	if v, _ := a.srv.store.get("demo.filtered"); v.gen != 1 {
-		t.Errorf("demo.filtered gen = %d after a cache hit, want 1", v.gen)
+	// the kernel (and its store.Put) ran once.
+	if v, _ := a.srv.store.Get("demo.filtered"); v.Gen != 1 {
+		t.Errorf("demo.filtered gen = %d after a cache hit, want 1", v.Gen)
 	}
 
 	resp = postWithHeader(t, url, req, "If-None-Match", etag)
@@ -403,8 +404,8 @@ func TestFilterDstClobberedByUpload(t *testing.T) {
 	}
 
 	uploadZeros(t, a, "demo.filtered", 8)
-	if v, ok := a.srv.store.get("demo.filtered"); !ok || v.filterKey != "" || v.gen != 2 {
-		t.Fatalf("upload over dst: filterKey %q gen %d, want empty and 2", v.filterKey, v.gen)
+	if v, err := a.srv.store.Get("demo.filtered"); err != nil || v.FilterKey != "" || v.Gen != 2 {
+		t.Fatalf("upload over dst: filterKey %q gen %d, want empty and 2", v.FilterKey, v.Gen)
 	}
 
 	// The conditional replay must be a full 200 — dst no longer holds
@@ -417,9 +418,9 @@ func TestFilterDstClobberedByUpload(t *testing.T) {
 	if xc := resp.Header.Get("X-Cache"); xc == "hit" {
 		t.Errorf("post-clobber filter X-Cache %q; replayed a stale claim", xc)
 	}
-	v, ok := a.srv.store.get("demo.filtered")
-	if !ok || v.dataset != "plume+gaussian" || v.gen != 3 {
-		t.Fatalf("post-clobber dst: dataset %q gen %d, want plume+gaussian gen 3 (kernel re-ran and re-stored)", v.dataset, v.gen)
+	v, err := a.srv.store.Get("demo.filtered")
+	if err != nil || v.Dataset != "plume+gaussian" || v.Gen != 3 {
+		t.Fatalf("post-clobber dst: dataset %q gen %d, want plume+gaussian gen 3 (kernel re-ran and re-stored)", v.Dataset, v.Gen)
 	}
 
 	// With dst restored, the cache is trustworthy again: repeat is a
@@ -467,8 +468,8 @@ func TestETagProcessScoped(t *testing.T) {
 func TestPutVolumeBumpsGeneration(t *testing.T) {
 	a, _, _ := startApp(t, cacheConfig())
 
-	if v, _ := a.srv.store.get("demo"); v.gen != 1 {
-		t.Fatalf("initial demo gen = %d, want 1", v.gen)
+	if v, _ := a.srv.store.Get("demo"); v.Gen != 1 {
+		t.Fatalf("initial demo gen = %d, want 1", v.Gen)
 	}
 	if info := reuploadDemo(t, a); info.Gen != 2 {
 		t.Fatalf("first re-upload gen = %d, want 2", info.Gen)
@@ -481,7 +482,7 @@ func TestPutVolumeBumpsGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var vols []volumeInfo
+	var vols []store.Info
 	if err := json.NewDecoder(resp.Body).Decode(&vols); err != nil {
 		t.Fatal(err)
 	}

@@ -195,10 +195,10 @@ func (s *server) renderJobSpec(req renderRequest, lane jobs.Lane, coarseLevel in
 	if herr != nil {
 		return jobs.Spec{}, herr
 	}
-	if lmax := maxCoarseLevel(plan.vol.grid.Dims()); coarseLevel > lmax {
+	if lmax := maxCoarseLevel(plan.vol.Grid.Dims()); coarseLevel > lmax {
 		coarseLevel = lmax
 	}
-	kind, err := sfcmem.ParseLayout(plan.vol.layout)
+	kind, err := sfcmem.ParseLayout(plan.vol.Layout)
 	if err != nil {
 		// Stored layouts were parsed at volume creation; this is a bug,
 		// not a client error.
@@ -206,10 +206,10 @@ func (s *server) renderJobSpec(req renderRequest, lane jobs.Lane, coarseLevel in
 	}
 	jt, _ := s.hub.Start(context.Background(), "job", hdr)
 	return jobs.Spec{
-		BatchKey: digest("render", plan.vol.name, plan.vol.gen, plan.dt, coarseLevel),
+		BatchKey: digest("render", plan.vol.Name, plan.vol.Gen, plan.dt, coarseLevel),
 		Lane:     lane,
 		Setup: func(ctx context.Context) (any, error) {
-			g := plan.vol.grid
+			g := plan.vol.Grid
 			if plan.dt != g.Dtype() {
 				g = g.Convert(plan.dt)
 			}
@@ -298,10 +298,10 @@ func (s *server) filterJobSpec(req filterRequest, lane jobs.Lane, hdr http.Heade
 	}
 	jt, _ := s.hub.Start(context.Background(), "job", hdr)
 	return jobs.Spec{
-		BatchKey: digest("filter", plan.src.name, plan.src.gen, plan.dt),
+		BatchKey: digest("filter", plan.src.Name, plan.src.Gen, plan.dt),
 		Lane:     lane,
 		Setup: func(ctx context.Context) (any, error) {
-			g := plan.src.grid
+			g := plan.src.Grid
 			if plan.dt != g.Dtype() {
 				g = g.Convert(plan.dt)
 			}

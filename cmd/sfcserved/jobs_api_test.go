@@ -26,6 +26,7 @@ import (
 
 	"sfcmem"
 	"sfcmem/internal/jobs"
+	"sfcmem/internal/store"
 )
 
 // sseEvent is one parsed Server-Sent Event.
@@ -697,7 +698,7 @@ func TestFilterJobMatchesSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var vols []volumeInfo
+	var vols []store.Info
 	if err := json.NewDecoder(resp.Body).Decode(&vols); err != nil {
 		t.Fatal(err)
 	}

@@ -67,6 +67,7 @@ import (
 	"sfcmem/internal/jobs"
 	"sfcmem/internal/metrics"
 	"sfcmem/internal/obs"
+	"sfcmem/internal/store"
 )
 
 func main() {
@@ -76,8 +77,15 @@ func main() {
 }
 
 type config struct {
-	addr, ops       string
-	volumes         []string
+	addr, ops string
+	volumes   []string
+	// dataDir, when non-empty, persists volumes as SFC-ordered brick
+	// files under this directory and demand-loads them back; empty
+	// keeps the original RAM-only store.
+	dataDir string
+	// storeRAMBytes caps the RAM tier when dataDir is set; volumes past
+	// the budget are evicted LRU and paged back in on access.
+	storeRAMBytes   int64
 	slots           int
 	queueDepth      int
 	cacheBytes      int64
@@ -118,6 +126,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "request listen address")
 	fs.StringVar(&cfg.ops, "ops", "localhost:8081", "ops listen address (/metrics, /debug/pprof, /debug/vars)")
 	fs.Var(volumeList{&cfg.volumes}, "volume", "volume spec name=dataset:size:layout[:dtype] (repeatable); default demo=plume:48:zorder")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "directory for the persistent volume tier (SFC-ordered brick files); empty keeps volumes in RAM only")
+	fs.Int64Var(&cfg.storeRAMBytes, "store-ram-bytes", 0, "RAM budget for resident volumes when -data-dir is set; 0 keeps everything resident (disk is durability only)")
 	fs.IntVar(&cfg.slots, "slots", 2, "requests running kernels concurrently")
 	fs.IntVar(&cfg.queueDepth, "queue", 8, "admitted requests waiting beyond the running ones; overflow gets 429")
 	fs.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "render/filter response cache budget in bytes; 0 disables caching and request coalescing")
@@ -135,13 +145,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "sfcserved: -slots must be >= 1 and -queue >= 0")
 		return 2
 	}
+	if cfg.storeRAMBytes != 0 && cfg.dataDir == "" {
+		fmt.Fprintln(stderr, "sfcserved: -store-ram-bytes needs -data-dir (an evicted volume must have bricks to reload from)")
+		return 2
+	}
 	a, err := newApp(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "sfcserved:", err)
 		return 1
 	}
-	names := make([]string, 0, len(a.srv.store.list()))
-	for _, v := range a.srv.store.list() {
+	var names []string
+	for _, v := range a.srv.store.List() {
 		names = append(names, v.Name)
 	}
 	fmt.Fprintf(stderr, "sfcserved: serving on http://%s (ops http://%s), volumes: %s\n",
@@ -165,7 +179,21 @@ type app struct {
 }
 
 func newApp(cfg config) (*app, error) {
-	store := newVolumeStore()
+	reg := metrics.NewRegistry()
+	reg.Namespace = "sfcserved"
+	var vols store.VolumeStore
+	if cfg.dataDir != "" {
+		s, err := store.Open(cfg.dataDir, store.Options{
+			RAMBytes: cfg.storeRAMBytes,
+			Metrics:  reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vols = s
+	} else {
+		vols = store.NewMemory(reg)
+	}
 	specs := cfg.volumes
 	if len(specs) == 0 {
 		specs = []string{"demo=plume:48:zorder"}
@@ -175,11 +203,11 @@ func newApp(cfg config) (*app, error) {
 		if err != nil {
 			return nil, err
 		}
-		store.put(v)
+		if err := vols.Put(v); err != nil {
+			return nil, err
+		}
 	}
-	reg := metrics.NewRegistry()
-	reg.Namespace = "sfcserved"
-	srv := newServer(store, reg, cfg.slots, cfg.queueDepth, cfg.defaultDeadline, cfg.maxDeadline)
+	srv := newServer(vols, reg, cfg.slots, cfg.queueDepth, cfg.defaultDeadline, cfg.maxDeadline)
 	srv.enableCache(cfg.cacheBytes)
 	// Runner count tracks -slots: each running job holds one admission
 	// run slot for its kernel passes, so more runners than slots would

@@ -13,6 +13,7 @@ import (
 
 	"sfcmem"
 	"sfcmem/internal/metrics"
+	"sfcmem/internal/store"
 )
 
 // TestReadyzLifecycle checks the liveness/readiness split end to end:
@@ -37,7 +38,7 @@ func TestReadyzLifecycle(t *testing.T) {
 // against the handler directly (the drain state cannot be probed over
 // HTTP: shutdown closes the listener before in-flight work finishes).
 func TestReadyzBeforeInitAndDuringDrain(t *testing.T) {
-	s := newServer(newVolumeStore(), metrics.NewRegistry(), 1, 1, time.Second, time.Second)
+	s := newServer(store.NewMemory(nil), metrics.NewRegistry(), 1, 1, time.Second, time.Second)
 	mux := s.mux()
 	get := func(path string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()
@@ -126,7 +127,7 @@ func TestVolumeDtypeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var vols []volumeInfo
+	var vols []store.Info
 	if err := json.NewDecoder(resp.Body).Decode(&vols); err != nil {
 		t.Fatal(err)
 	}
@@ -171,9 +172,9 @@ func TestVolumeDtypeLifecycle(t *testing.T) {
 	if err := json.Unmarshal(body, &fr); err != nil || fr.Dtype != "uint8" {
 		t.Errorf("filter response %s (err %v), want dtype uint8", body, err)
 	}
-	v, ok := a.srv.store.get("demo.filtered")
-	if !ok || v.grid.Dtype() != sfcmem.U8 {
-		t.Errorf("filtered volume not stored at uint8 (ok=%v)", ok)
+	v, err := a.srv.store.Get("demo.filtered")
+	if err != nil || v.Grid.Dtype() != sfcmem.U8 {
+		t.Errorf("filtered volume not stored at uint8 (err=%v)", err)
 	}
 }
 
@@ -207,7 +208,7 @@ func TestUploadVolume(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("upload: status %d body %s", resp.StatusCode, body)
 	}
-	var info volumeInfo
+	var info store.Info
 	if err := json.Unmarshal(body, &info); err != nil {
 		t.Fatal(err)
 	}
@@ -216,11 +217,11 @@ func TestUploadVolume(t *testing.T) {
 	}
 
 	// The samples survived the trip: compare against the local grid.
-	v, ok := a.srv.store.get("up")
-	if !ok {
+	v, err := a.srv.store.Get("up")
+	if err != nil {
 		t.Fatal("uploaded volume not in store")
 	}
-	want, got := sfcmem.Grids[uint16](src), sfcmem.Grids[uint16](v.grid)
+	want, got := sfcmem.Grids[uint16](src), sfcmem.Grids[uint16](v.Grid)
 	want.ForEachIndex(func(i, j, k int, s uint16) {
 		if got.At(i, j, k) != s {
 			t.Fatalf("uploaded sample (%d,%d,%d) = %d, want %d", i, j, k, got.At(i, j, k), s)

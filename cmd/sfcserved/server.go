@@ -22,6 +22,7 @@ import (
 	"sfcmem/internal/metrics"
 	"sfcmem/internal/obs"
 	"sfcmem/internal/rcache"
+	"sfcmem/internal/store"
 )
 
 // server holds the request-service state: the volume store, the metrics
@@ -36,7 +37,7 @@ import (
 // kernel workers. A request that times out while queued has consumed
 // nothing but its queue token.
 type server struct {
-	store *volumeStore
+	store store.VolumeStore
 	reg   *metrics.Registry
 
 	queue chan struct{}
@@ -87,9 +88,9 @@ type server struct {
 	filterLatency *metrics.Histogram
 }
 
-func newServer(store *volumeStore, reg *metrics.Registry, slots, depth int, defaultDeadline, maxDeadline time.Duration) *server {
+func newServer(vols store.VolumeStore, reg *metrics.Registry, slots, depth int, defaultDeadline, maxDeadline time.Duration) *server {
 	s := &server{
-		store:           store,
+		store:           vols,
 		reg:             reg,
 		queue:           make(chan struct{}, slots+depth),
 		run:             make(chan struct{}, slots),
@@ -157,11 +158,15 @@ func digest(parts ...any) string {
 }
 
 // bootNonce returns a random per-process value mixed into every cache
-// digest. Store generations restart at 1 on every boot, so without it
-// an ETag minted by a previous process (same volume name and
-// generation, but a different -volume dataset/size, or a /filter dst
-// that this process never produced) would validate a 304 against
-// different bytes.
+// digest. Without -data-dir, store generations restart at 1 on every
+// boot, so without the nonce an ETag minted by a previous process
+// (same volume name and generation, but a different -volume
+// dataset/size, or a /filter dst that this process never produced)
+// would validate a 304 against different bytes. With -data-dir the
+// persisted manifests carry generations across restarts, but -volume
+// specs still re-synthesize at boot, so the nonce stays: ETags are
+// process-scoped and the persisted generation floor is what keeps
+// in-process DELETE/re-create sequences honest.
 func bootNonce() string {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -213,6 +218,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /volumes", s.instrument("volumes", s.handleListVolumes))
 	m.HandleFunc("POST /volumes", s.instrument("volumes", s.handleCreateVolume))
 	m.HandleFunc("PUT /volumes/{name}", s.instrument("volumes", s.handleUploadVolume))
+	m.HandleFunc("DELETE /volumes/{name}", s.instrument("volumes", s.handleDeleteVolume))
 	m.HandleFunc("POST /jobs", s.instrument("jobs", s.handleCreateJob))
 	m.HandleFunc("GET /jobs/{id}", s.instrument("jobs", s.handleGetJob))
 	m.HandleFunc("GET /jobs/{id}/events", s.instrument("jobs", s.handleJobEvents))
@@ -343,13 +349,28 @@ type httpErr struct {
 
 func (e *httpErr) Error() string { return e.msg }
 
+// getVolume resolves a name through the store, mapping its two failure
+// modes onto HTTP: an unknown (or deleted) name is the caller's 404; a
+// failed demand load (I/O, integrity) is the service's 500 — the store
+// refuses to serve data it cannot verify, and so do we.
+func (s *server) getVolume(name string) (*store.Volume, *httpErr) {
+	v, err := s.store.Get(name)
+	if err == nil {
+		return v, nil
+	}
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, &httpErr{http.StatusNotFound, fmt.Sprintf("unknown volume %q", name)}
+	}
+	return nil, &httpErr{http.StatusInternalServerError, err.Error()}
+}
+
 // renderPlan is a validated render request with everything resolved
 // that both the sync path and a render job need before any kernel
 // work: the volume, the element type the render runs at, and the
 // response digest (which doubles as cache key and ETag).
 type renderPlan struct {
 	req  renderRequest // normalized: all defaults applied
-	vol  *storedVolume
+	vol  *store.Volume
 	dt   sfcmem.Dtype
 	key  string
 	etag string
@@ -385,18 +406,18 @@ func (s *server) planRender(req renderRequest) (*renderPlan, *httpErr) {
 	if req.Format != "png" && req.Format != "raw" {
 		return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf("unknown format %q (want png or raw)", req.Format)}
 	}
-	vol, ok := s.store.get(req.Volume)
-	if !ok {
-		return nil, &httpErr{http.StatusNotFound, fmt.Sprintf("unknown volume %q", req.Volume)}
+	vol, herr := s.getVolume(req.Volume)
+	if herr != nil {
+		return nil, herr
 	}
-	dt := vol.grid.Dtype()
+	dt := vol.Grid.Dtype()
 	if req.Dtype != "" {
 		var err error
 		if dt, err = sfcmem.ParseDtype(req.Dtype); err != nil {
 			return nil, &httpErr{http.StatusBadRequest, err.Error()}
 		}
 	}
-	key := digest(s.nonce, "render", "v1", vol.name, vol.gen, dt,
+	key := digest(s.nonce, "render", "v1", vol.Name, vol.Gen, dt,
 		req.View, req.Views, req.Width, req.Height, req.Shade, req.Format)
 	return &renderPlan{req: req, vol: vol, dt: dt, key: key, etag: etagFor(key)}, nil
 }
@@ -467,7 +488,7 @@ func (s *server) handleRender(w http.ResponseWriter, r *http.Request) {
 	// compute inline), so the stage spans land in this request's trace;
 	// a coalesced waiter's trace shows only the enclosing cache stage.
 	renderOnce := func(ctx context.Context) (rcache.Value, error) {
-		g := plan.vol.grid
+		g := plan.vol.Grid
 		if plan.dt != g.Dtype() {
 			endResolve := t.Stage("resolve")
 			g = g.Convert(plan.dt)
@@ -570,7 +591,7 @@ type filterRequest struct {
 // dstHoldsResult instead.
 type filterPlan struct {
 	req    filterRequest // normalized: all defaults applied
-	src    *storedVolume
+	src    *store.Volume
 	dt     sfcmem.Dtype
 	axis   sfcmem.Axis
 	kernel func(context.Context, *sfcmem.AnyGrid, *sfcmem.AnyGrid, sfcmem.FilterOptions) error
@@ -614,18 +635,18 @@ func (s *server) planFilter(req filterRequest) (*filterPlan, *httpErr) {
 	default:
 		return nil, &httpErr{http.StatusBadRequest, fmt.Sprintf("unknown kernel %q (want bilateral or gaussian)", req.Kernel)}
 	}
-	src, ok := s.store.get(req.Src)
-	if !ok {
-		return nil, &httpErr{http.StatusNotFound, fmt.Sprintf("unknown volume %q", req.Src)}
+	src, herr := s.getVolume(req.Src)
+	if herr != nil {
+		return nil, herr
 	}
-	dt := src.grid.Dtype()
+	dt := src.Grid.Dtype()
 	if req.Dtype != "" {
 		var err error
 		if dt, err = sfcmem.ParseDtype(req.Dtype); err != nil {
 			return nil, &httpErr{http.StatusBadRequest, err.Error()}
 		}
 	}
-	key := digest(s.nonce, "filter", "v1", src.name, src.gen, req.Dst, req.Kernel,
+	key := digest(s.nonce, "filter", "v1", src.Name, src.Gen, req.Dst, req.Kernel,
 		req.Radius, axis, req.SigmaRange, dt)
 	return &filterPlan{req: req, src: src, dt: dt, axis: axis, kernel: kernel, key: key, etag: etagFor(key)}, nil
 }
@@ -635,10 +656,11 @@ func (s *server) planFilter(req filterRequest) (*filterPlan, *httpErr) {
 // mutating dst, so a cached response — or a 304 — is only honest while
 // that effect is still in place; an upload over dst clears its
 // filterKey, forcing the next identical request back through the
-// kernel.
+// kernel. Stat answers from metadata, so the check never demand-loads
+// a non-resident destination's bricks.
 func (s *server) dstHoldsResult(p *filterPlan) bool {
-	d, ok := s.store.get(p.req.Dst)
-	return ok && d.filterKey == p.key
+	in, ok := s.store.Stat(p.req.Dst)
+	return ok && in.FilterKey == p.key
 }
 
 // applyFilter runs the filter kernel over the (already dtype-resolved)
@@ -663,13 +685,15 @@ func (s *server) applyFilter(ctx context.Context, t *obs.Trace, srcGrid *sfcmem.
 	s.filterLatency.Observe(elapsed)
 	endEncode := t.Stage("encode")
 	defer endEncode()
-	s.store.put(&storedVolume{
-		name:      p.req.Dst,
-		dataset:   p.src.dataset + "+" + p.req.Kernel,
-		layout:    p.src.layout,
-		grid:      dst,
-		filterKey: p.key,
-	})
+	if err := s.store.Put(&store.Volume{
+		Name:      p.req.Dst,
+		Dataset:   p.src.Dataset + "+" + p.req.Kernel,
+		Layout:    p.src.Layout,
+		Grid:      dst,
+		FilterKey: p.key,
+	}); err != nil {
+		return rcache.Value{}, err
+	}
 	var buf bytes.Buffer
 	json.NewEncoder(&buf).Encode(map[string]any{ //nolint:errcheck // bytes.Buffer never fails
 		"volume":  p.req.Dst,
@@ -710,7 +734,7 @@ func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	filterOnce := func(ctx context.Context) (rcache.Value, error) {
-		srcGrid := plan.src.grid
+		srcGrid := plan.src.Grid
 		if plan.dt != srcGrid.Dtype() {
 			endResolve := t.Stage("resolve")
 			srcGrid = srcGrid.Convert(plan.dt)
@@ -772,10 +796,24 @@ func (s *server) handleCreateVolume(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.store.put(v)
+	s.respondStored(w, v)
+}
+
+// respondStored puts v and writes the 201 response with the stored
+// volume's metadata. A failed Put — only possible with a disk tier —
+// is a 500: the store kept its previous contents.
+func (s *server) respondStored(w http.ResponseWriter, v *store.Volume) {
+	if err := s.store.Put(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	in, ok := s.store.Stat(v.Name)
+	if !ok { // racing DELETE won; report what this request stored
+		in = store.InfoOf(v)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(v.info()) //nolint:errcheck
+	json.NewEncoder(w).Encode(in) //nolint:errcheck
 }
 
 // maxUploadBytes bounds a PUT /volumes/{name} payload: a 512³ float64
@@ -839,16 +877,29 @@ func (s *server) handleUploadVolume(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	v := &storedVolume{name: name, dataset: "upload", layout: layoutName, grid: g}
-	s.store.put(v)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(v.info()) //nolint:errcheck
+	s.respondStored(w, &store.Volume{Name: name, Dataset: "upload", Layout: layoutName, Grid: g})
+}
+
+// handleDeleteVolume removes a volume from every storage tier. The
+// name's generation floor survives (in memory, and on disk as a
+// tombstone manifest when -data-dir is set), so a later re-create gets
+// a strictly higher generation and stale ETags can never validate.
+func (s *server) handleDeleteVolume(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Delete(name); err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			http.Error(w, fmt.Sprintf("unknown volume %q", name), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *server) handleListVolumes(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.store.list()) //nolint:errcheck
+	json.NewEncoder(w).Encode(s.store.List()) //nolint:errcheck
 }
 
 // handleHealthz is the liveness probe: 200 for as long as the process

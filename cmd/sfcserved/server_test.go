@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sfcmem"
+	"sfcmem/internal/store"
 )
 
 // testConfig binds both listeners to ephemeral ports with a small demo
@@ -375,7 +376,7 @@ func TestFilterAndVolumeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var vols []volumeInfo
+	var vols []store.Info
 	if err := json.NewDecoder(resp.Body).Decode(&vols); err != nil {
 		t.Fatal(err)
 	}

@@ -2,105 +2,18 @@ package main
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"sfcmem"
+	"sfcmem/internal/store"
 )
 
-// storedVolume is one named volume in the in-memory store. The grid is
-// immutable once stored — filters write into a fresh grid registered
-// under a new name — so concurrent renders can share it without locks.
-type storedVolume struct {
-	name    string
-	dataset string // "plume", "phantom", "upload", or "<src>+<kernel>"
-	layout  string // layout name as given in the spec
-	grid    *sfcmem.AnyGrid
-	// gen is the volume's generation: 1 on first store, +1 every time
-	// put replaces the name. Response-cache digests embed it, so
-	// replacing a volume makes every cached result for the old contents
-	// unreachable without an explicit purge. Assigned by put; immutable
-	// afterwards.
-	gen uint64
-	// filterKey, when non-empty, is the response-cache digest of the
-	// /filter run that produced this volume. handleFilter compares it
-	// against a request's digest to decide whether the destination
-	// still holds that run's output; uploads and synthesized volumes
-	// leave it empty, which invalidates any cached filter response
-	// targeting the name.
-	filterKey string
-}
-
-// volumeInfo is a volume's JSON form for the /volumes listing.
-type volumeInfo struct {
-	Name    string `json:"name"`
-	Dataset string `json:"dataset"`
-	Layout  string `json:"layout"`
-	Dtype   string `json:"dtype"`
-	Nx      int    `json:"nx"`
-	Ny      int    `json:"ny"`
-	Nz      int    `json:"nz"`
-	Bytes   int64  `json:"bytes"`
-	Gen     uint64 `json:"gen"`
-}
-
-func (v *storedVolume) info() volumeInfo {
-	nx, ny, nz := v.grid.Dims()
-	return volumeInfo{
-		Name: v.name, Dataset: v.dataset, Layout: v.layout,
-		Dtype: v.grid.Dtype().String(),
-		Nx:    nx, Ny: ny, Nz: nz,
-		Bytes: v.grid.Bytes(),
-		Gen:   v.gen,
-	}
-}
-
-// volumeStore maps names to volumes. Lookups vastly outnumber stores
-// (every request resolves a name; only /volumes and /filter add one), so
-// an RWMutex over a plain map is plenty.
-type volumeStore struct {
-	mu   sync.RWMutex
-	vols map[string]*storedVolume
-}
-
-func newVolumeStore() *volumeStore {
-	return &volumeStore{vols: make(map[string]*storedVolume)}
-}
-
-func (s *volumeStore) get(name string) (*storedVolume, bool) {
-	s.mu.RLock()
-	v, ok := s.vols[name]
-	s.mu.RUnlock()
-	return v, ok
-}
-
-// put stores v, replacing any volume of the same name and assigning
-// the next generation for that name. Names are never deleted, so the
-// counter is monotonic for the life of the process.
-func (s *volumeStore) put(v *storedVolume) {
-	s.mu.Lock()
-	if old, ok := s.vols[v.name]; ok {
-		v.gen = old.gen + 1
-	} else {
-		v.gen = 1
-	}
-	s.vols[v.name] = v
-	s.mu.Unlock()
-}
-
-// list returns every volume's info, sorted by name.
-func (s *volumeStore) list() []volumeInfo {
-	s.mu.RLock()
-	out := make([]volumeInfo, 0, len(s.vols))
-	for _, v := range s.vols {
-		out = append(out, v.info())
-	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+// Volume storage lives in internal/store behind the pluggable
+// store.VolumeStore interface (RAM-only via store.NewMemory, tiered
+// RAM-over-bricks via store.Open when -data-dir is set). This file
+// keeps only the serving-side volume construction: synthetic datasets
+// and the -volume spec grammar.
 
 // datasetSeed fixes the synthetic datasets so repeated service starts
 // (and the CI smoke job) render identical frames.
@@ -109,7 +22,7 @@ const datasetSeed = 1
 // synthesizeVolume builds a named volume from a dataset name, cube edge,
 // layout name and dtype name — the shared backend of the -volume flag
 // and the POST /volumes handler. An empty dtype means float32.
-func synthesizeVolume(name, dataset string, size int, layout, dtype string) (*storedVolume, error) {
+func synthesizeVolume(name, dataset string, size int, layout, dtype string) (*store.Volume, error) {
 	if name == "" {
 		return nil, fmt.Errorf("volume name must be non-empty")
 	}
@@ -137,13 +50,13 @@ func synthesizeVolume(name, dataset string, size int, layout, dtype string) (*st
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want plume or phantom)", dataset)
 	}
-	return &storedVolume{name: name, dataset: dataset, layout: layout, grid: g}, nil
+	return &store.Volume{Name: name, Dataset: dataset, Layout: layout, Grid: g}, nil
 }
 
 // parseVolumeSpec parses one -volume flag value of the form
 // name=dataset:size:layout[:dtype], e.g. demo=plume:64:zorder or
 // demo8=plume:64:zorder:uint8. The dtype defaults to float32.
-func parseVolumeSpec(spec string) (*storedVolume, error) {
+func parseVolumeSpec(spec string) (*store.Volume, error) {
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok {
 		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout[:dtype]", spec)

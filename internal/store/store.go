@@ -1,0 +1,687 @@
+// Package store is sfcserved's tiered volume storage: a pluggable
+// VolumeStore interface over two stacked tiers — a byte-budgeted RAM
+// tier (an LRU over resident volumes, the eviction idiom of
+// internal/rcache) above a disk tier that persists each volume as
+// SFC-ordered brick files plus a manifest (internal/volume's brick
+// codec).
+//
+// Because grids are stored in curve order in memory, the disk tier
+// inherits the paper's locality argument for free: bricks are
+// contiguous curve ranges of the backing slice, so persisting a volume
+// is a sequential copy and a cold load is sequential I/O that arrives
+// already laid out for the kernels. Datasets can therefore outgrow
+// RAM: a volume evicted from the RAM tier is transparently
+// demand-loaded from its bricks on next access, with single-flight
+// coalescing so a request stampede loads it once.
+//
+// Semantics preserved from the original in-memory map:
+//
+//   - Grids are immutable once stored; Put replaces whole volumes.
+//   - Put assigns the volume's generation: 1 on first store, strictly
+//     increasing on every replacement of the name. Generations also
+//     survive Delete (in-process tombstones) and — when a data dir is
+//     configured — restarts (persisted manifests, including tombstone
+//     manifests for deleted names), so a response-cache digest minted
+//     for old contents can never validate against new ones.
+//   - With no data dir, NewMemory reproduces the old behavior
+//     byte-for-byte: everything resident, nothing evicted, nothing
+//     survives the process.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sfcmem"
+	"sfcmem/internal/metrics"
+	"sfcmem/internal/volume"
+)
+
+// ErrNotFound reports a name the store has never held or has deleted.
+var ErrNotFound = errors.New("store: volume not found")
+
+// Volume is one named, immutable volume. Gen is assigned by Put and
+// immutable afterwards; callers must not mutate any field (the Grid
+// least of all — concurrent renders share it without locks).
+type Volume struct {
+	Name    string
+	Dataset string // "plume", "phantom", "upload", or "<src>+<kernel>"
+	Layout  string // layout name as given in the volume spec
+	Grid    *sfcmem.AnyGrid
+	// Gen is the volume's generation; response-cache digests embed it,
+	// so replacing a volume makes every cached result for the old
+	// contents unreachable without an explicit purge.
+	Gen uint64
+	// FilterKey, when non-empty, is the response-cache digest of the
+	// /filter run that produced this volume; see server.dstHoldsResult.
+	FilterKey string
+}
+
+// Info is a volume's metadata — the /volumes listing entry, also
+// available for non-resident volumes without touching their bricks.
+type Info struct {
+	Name     string `json:"name"`
+	Dataset  string `json:"dataset"`
+	Layout   string `json:"layout"`
+	Dtype    string `json:"dtype"`
+	Nx       int    `json:"nx"`
+	Ny       int    `json:"ny"`
+	Nz       int    `json:"nz"`
+	Bytes    int64  `json:"bytes"`
+	Gen      uint64 `json:"gen"`
+	Resident bool   `json:"resident"`
+	// FilterKey travels with the metadata but is not part of the
+	// public listing (it embeds a cache digest).
+	FilterKey string `json:"-"`
+}
+
+// VolumeStore is the pluggable storage interface the serving layer
+// programs against. Implementations must be safe for concurrent use.
+type VolumeStore interface {
+	// Get returns the named volume, demand-loading it from the disk
+	// tier if it is not resident. ErrNotFound means the name is
+	// unknown (or deleted); any other error is a failed load (I/O,
+	// integrity) and the caller must not serve data for the name.
+	Get(name string) (*Volume, error)
+	// Put stores v, replacing any volume of the same name, assigns
+	// v.Gen, and — when a disk tier is configured — persists it before
+	// returning. On error the store keeps its previous contents.
+	Put(v *Volume) error
+	// Delete removes the volume from every tier. The name's generation
+	// floor is retained so a later re-create gets a strictly higher
+	// generation. Returns ErrNotFound for unknown names.
+	Delete(name string) error
+	// Stat returns a volume's metadata without loading its samples.
+	Stat(name string) (Info, bool)
+	// List returns every live volume's metadata, sorted by name.
+	List() []Info
+}
+
+// DefaultBrickBytes is the default brick payload size. 4 MiB keeps a
+// 256³ float32 volume at 16 bricks — large enough that cold loads are
+// a handful of sequential reads, small enough that integrity failures
+// localize.
+const DefaultBrickBytes = 4 << 20
+
+// Options configures Open.
+type Options struct {
+	// RAMBytes is the RAM tier's byte budget. <= 0 means unbounded
+	// (every volume stays resident; the disk tier is durability only).
+	RAMBytes int64
+	// BrickBytes is the brick payload size for newly persisted
+	// volumes; 0 uses DefaultBrickBytes.
+	BrickBytes int
+	// Metrics, when non-nil, receives the store.* counters and gauges.
+	Metrics *metrics.Registry
+}
+
+// entry is one known name. It outlives Delete (deleted entries carry
+// the generation floor) and residency (evicted entries keep their
+// Info so Stat/List never touch disk).
+type entry struct {
+	name    string
+	dirname string // subdirectory under the data dir
+	info    Info
+	deleted bool
+	// lastGen is the highest generation ever assigned to the name —
+	// the monotonic counter Put continues after replaces and deletes.
+	lastGen uint64
+	// vol is the resident volume; nil when evicted or deleted. elem is
+	// its LRU slot (front = most recently used) while resident.
+	vol  *Volume
+	elem *list.Element
+}
+
+// flight is one in-progress demand load; vol and err are written
+// before done closes.
+type flight struct {
+	done chan struct{}
+	vol  *Volume
+	err  error
+}
+
+// Store is the tiered implementation of VolumeStore. Construct with
+// NewMemory (RAM only) or Open (RAM over brick files).
+type Store struct {
+	dir        string // "" = no disk tier
+	budget     int64  // RAM bytes; <= 0 = unbounded
+	brickBytes int
+
+	mu       sync.Mutex
+	ents     map[string]*entry
+	lru      *list.List
+	resident int64
+	flights  map[string]*flight
+
+	// iomu serializes disk writes per volume directory so racing Puts
+	// (or a Put racing a Delete) cannot interleave brick files from
+	// two generations. Disk reads don't take it: the manifest rename
+	// is atomic and per-brick digests catch a torn read.
+	iomu sync.Map // name -> *sync.Mutex
+
+	// testLoadDelay, when set (tests only), runs after a Get registers
+	// itself as the demand-load leader and before it touches disk —
+	// the hook that makes single-flight coalescing deterministic to
+	// test.
+	testLoadDelay func()
+
+	hits        *metrics.Counter
+	misses      *metrics.Counter
+	loads       *metrics.Counter
+	loadBytes   *metrics.Counter
+	writes      *metrics.Counter
+	writeBytes  *metrics.Counter
+	evictions   *metrics.Counter
+	loadLatency *metrics.Histogram
+}
+
+var _ VolumeStore = (*Store)(nil)
+
+// NewMemory returns a RAM-only store: no disk tier, no eviction —
+// the original sfcserved in-memory map behind the interface. reg may
+// be nil.
+func NewMemory(reg *metrics.Registry) *Store {
+	s := newStore("", Options{Metrics: reg})
+	return s
+}
+
+// Open returns a tiered store persisting volumes under dir, loading
+// the manifest index of every volume a previous process left there.
+// Volumes are demand-loaded on first access, not at open: a restart
+// is cheap no matter how much data the directory holds.
+func Open(dir string, o Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: Open needs a data dir (use NewMemory for RAM only)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := newStore(dir, o)
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, de := range des {
+		if !de.IsDir() {
+			continue
+		}
+		m, err := volume.ReadManifestFile(filepath.Join(dir, de.Name(), volume.ManifestFile))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // stray directory, not ours
+			}
+			return nil, fmt.Errorf("store: indexing %s: %w", de.Name(), err)
+		}
+		if prev, ok := s.ents[m.Name]; ok && prev.lastGen >= m.Gen {
+			continue // duplicate dirs for one name: highest generation wins
+		}
+		dt, _ := sfcmem.ParseDtype(m.Dtype)
+		s.ents[m.Name] = &entry{
+			name:    m.Name,
+			dirname: de.Name(),
+			deleted: m.Deleted,
+			lastGen: m.Gen,
+			info: Info{
+				Name: m.Name, Dataset: m.Dataset, Layout: m.Layout, Dtype: m.Dtype,
+				Nx: m.Nx, Ny: m.Ny, Nz: m.Nz,
+				Bytes: m.Elems * int64(dt.Size()), Gen: m.Gen, FilterKey: m.FilterKey,
+			},
+		}
+	}
+	return s, nil
+}
+
+func newStore(dir string, o Options) *Store {
+	bb := o.BrickBytes
+	if bb <= 0 {
+		bb = DefaultBrickBytes
+	}
+	s := &Store{
+		dir:        dir,
+		budget:     o.RAMBytes,
+		brickBytes: bb,
+		ents:       make(map[string]*entry),
+		lru:        list.New(),
+		flights:    make(map[string]*flight),
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry() // unpublished sink
+	}
+	s.hits = reg.Counter("store.hits", 1)
+	s.misses = reg.Counter("store.misses", 1)
+	s.loads = reg.Counter("store.loads", 1)
+	s.loadBytes = reg.Counter("store.load_bytes", 1)
+	s.writes = reg.Counter("store.writes", 1)
+	s.writeBytes = reg.Counter("store.write_bytes", 1)
+	s.evictions = reg.Counter("store.evictions", 1)
+	s.loadLatency = reg.Histogram("store.load_latency")
+	reg.Register("store.resident_bytes", metrics.GaugeFunc(func() any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.resident
+	}))
+	reg.Register("store.resident_volumes", metrics.GaugeFunc(func() any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.lru.Len()
+	}))
+	reg.Register("store.volumes", metrics.GaugeFunc(func() any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, e := range s.ents {
+			if !e.deleted {
+				n++
+			}
+		}
+		return n
+	}))
+	reg.Register("store.ram_budget_bytes", metrics.GaugeFunc(func() any { return s.budget }))
+	return s
+}
+
+// dirFor derives a filesystem-safe directory name for a client-chosen
+// volume name: a readable sanitized prefix plus a hash suffix so
+// distinct names can never collide (or escape the data dir).
+func dirFor(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	safe := strings.TrimLeft(b.String(), ".") // no dot-prefixed dirs
+	if safe == "" {
+		safe = "v"
+	}
+	h := sha256.Sum256([]byte(name))
+	return fmt.Sprintf("%s-%x", safe, h[:6])
+}
+
+func (s *Store) lockIO(name string) func() {
+	mu, _ := s.iomu.LoadOrStore(name, &sync.Mutex{})
+	mu.(*sync.Mutex).Lock()
+	return mu.(*sync.Mutex).Unlock
+}
+
+// InfoOf derives a volume's metadata record (Resident is left false;
+// only the store knows residency — see Stat).
+func InfoOf(v *Volume) Info {
+	nx, ny, nz := v.Grid.Dims()
+	return Info{
+		Name: v.Name, Dataset: v.Dataset, Layout: v.Layout,
+		Dtype: v.Grid.Dtype().String(),
+		Nx:    nx, Ny: ny, Nz: nz,
+		Bytes: v.Grid.Bytes(), Gen: v.Gen, FilterKey: v.FilterKey,
+	}
+}
+
+// Get implements VolumeStore.
+func (s *Store) Get(name string) (*Volume, error) {
+	for {
+		s.mu.Lock()
+		e, ok := s.ents[name]
+		if !ok || e.deleted {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if e.vol != nil {
+			s.lru.MoveToFront(e.elem)
+			v := e.vol
+			s.mu.Unlock()
+			s.hits.Inc(0)
+			return v, nil
+		}
+		if s.dir == "" {
+			// Unreachable by construction (no disk tier ⇒ no eviction),
+			// but fail closed rather than spinning.
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if f, ok := s.flights[name]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				// The leader failed; the name may since have been
+				// replaced by a Put, so retry once through the loop
+				// rather than wedging every waiter on a stale error.
+				if _, statOK := s.Stat(name); statOK {
+					continue
+				}
+				return nil, f.err
+			}
+			return f.vol, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[name] = f
+		gen := e.info.Gen
+		dirname := e.dirname
+		s.mu.Unlock()
+
+		s.misses.Inc(0)
+		if s.testLoadDelay != nil {
+			s.testLoadDelay()
+		}
+		start := time.Now()
+		// Hold the per-name I/O lock so a concurrent Put/Delete cannot
+		// rename bricks out from under the manifest mid-read; a torn
+		// read would fail the sha256 check spuriously.
+		unlock := s.lockIO(name)
+		vol, err := s.load(dirname)
+		unlock()
+		if err == nil {
+			s.loads.Inc(0)
+			s.loadBytes.Add(0, uint64(vol.Grid.Bytes()))
+			s.loadLatency.Observe(time.Since(start))
+		}
+
+		s.mu.Lock()
+		delete(s.flights, name)
+		if err == nil {
+			// Insert into the RAM tier only if the name still describes
+			// what was loaded: not deleted, not replaced, not already
+			// re-loaded by someone else.
+			if cur := s.ents[name]; cur == e && !e.deleted && e.lastGen == vol.Gen && e.vol == nil {
+				s.insertResident(e, vol)
+			}
+		} else if e.deleted || s.ents[name] != e {
+			// Deleted or replaced underneath the load: the read error is
+			// an artifact of the race, not a store failure.
+			err = fmt.Errorf("%w: %q", ErrNotFound, name)
+		} else {
+			err = fmt.Errorf("store: loading %q (gen %d): %w", name, gen, err)
+		}
+		s.mu.Unlock()
+
+		f.vol, f.err = vol, err
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return vol, nil
+	}
+}
+
+// load reads a volume from its directory: manifest, layout
+// reconstruction, then a sequential brick read into the fresh grid's
+// backing slice.
+func (s *Store) load(dirname string) (*Volume, error) {
+	dir := filepath.Join(s.dir, dirname)
+	m, err := volume.ReadManifestFile(filepath.Join(dir, volume.ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	if m.Deleted {
+		return nil, ErrNotFound
+	}
+	kind, err := sfcmem.ParseLayout(m.Layout)
+	if err != nil {
+		return nil, err
+	}
+	l := sfcmem.NewLayout(kind, m.Nx, m.Ny, m.Nz)
+	if int64(l.Len()) != m.Elems {
+		return nil, fmt.Errorf("layout %s %dx%dx%d holds %d elems in this build, manifest has %d (layout geometry changed?)",
+			m.Layout, m.Nx, m.Ny, m.Nz, l.Len(), m.Elems)
+	}
+	dt, err := sfcmem.ParseDtype(m.Dtype)
+	if err != nil {
+		return nil, err
+	}
+	g, err := readGrid(dir, m, dt, l)
+	if err != nil {
+		return nil, err
+	}
+	return &Volume{
+		Name: m.Name, Dataset: m.Dataset, Layout: m.Layout,
+		Grid: g, Gen: m.Gen, FilterKey: m.FilterKey,
+	}, nil
+}
+
+func readGrid(dir string, m *volume.Manifest, dt sfcmem.Dtype, l sfcmem.Layout) (*sfcmem.AnyGrid, error) {
+	switch dt {
+	case sfcmem.U8:
+		return readGridOf[uint8](dir, m, l)
+	case sfcmem.U16:
+		return readGridOf[uint16](dir, m, l)
+	case sfcmem.F64:
+		return readGridOf[float64](dir, m, l)
+	default:
+		return readGridOf[float32](dir, m, l)
+	}
+}
+
+func readGridOf[T sfcmem.Scalar](dir string, m *volume.Manifest, l sfcmem.Layout) (*sfcmem.AnyGrid, error) {
+	g := sfcmem.NewGridOf[T](l)
+	if err := volume.ReadBricksInto(dir, m, g.Data()); err != nil {
+		return nil, err
+	}
+	return sfcmem.WrapAny(g), nil
+}
+
+func writeGrid(dir string, a *sfcmem.AnyGrid, brickElems int) ([]volume.BrickInfo, error) {
+	switch a.Dtype() {
+	case sfcmem.U8:
+		return volume.WriteBricks(dir, sfcmem.Grids[uint8](a).Data(), brickElems)
+	case sfcmem.U16:
+		return volume.WriteBricks(dir, sfcmem.Grids[uint16](a).Data(), brickElems)
+	case sfcmem.F64:
+		return volume.WriteBricks(dir, sfcmem.Grids[float64](a).Data(), brickElems)
+	default:
+		return volume.WriteBricks(dir, sfcmem.Grids[float32](a).Data(), brickElems)
+	}
+}
+
+// insertResident links vol into the RAM tier and evicts over-budget
+// volumes from the cold end. Called with mu held. The newly inserted
+// volume itself may be evicted immediately when it alone exceeds the
+// budget — callers already hold a reference, and the next Get pages
+// it back in (that is what a below-volume-size budget is asking for).
+func (s *Store) insertResident(e *entry, vol *Volume) {
+	if e.vol != nil {
+		s.resident -= e.info.Bytes
+		s.lru.Remove(e.elem)
+	}
+	e.vol = vol
+	e.info = InfoOf(vol)
+	e.deleted = false
+	e.elem = s.lru.PushFront(e)
+	s.resident += e.info.Bytes
+	if s.dir == "" || s.budget <= 0 {
+		return
+	}
+	for s.resident > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*entry)
+		s.lru.Remove(back)
+		ev.elem = nil
+		ev.vol = nil
+		s.resident -= ev.info.Bytes
+		s.evictions.Inc(0)
+	}
+}
+
+// Put implements VolumeStore.
+func (s *Store) Put(v *Volume) error {
+	if v.Name == "" {
+		return errors.New("store: volume name must be non-empty")
+	}
+	s.mu.Lock()
+	e, ok := s.ents[v.Name]
+	if !ok {
+		e = &entry{name: v.Name, dirname: dirFor(v.Name)}
+		s.ents[v.Name] = e
+	}
+	e.lastGen++
+	v.Gen = e.lastGen
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		s.commit(e, v)
+		return nil
+	}
+
+	unlock := s.lockIO(v.Name)
+	defer unlock()
+	// Superseded while waiting for the directory? Skip both the write
+	// and the commit: the later generation owns the name now.
+	s.mu.Lock()
+	superseded := e.lastGen != v.Gen
+	s.mu.Unlock()
+	if superseded {
+		return nil
+	}
+	if err := s.persist(e.dirname, v); err != nil {
+		return fmt.Errorf("store: persisting %q: %w", v.Name, err)
+	}
+	s.writes.Inc(0)
+	s.writeBytes.Add(0, uint64(v.Grid.Bytes()))
+	s.commit(e, v)
+	return nil
+}
+
+// commit makes v the entry's live state if its generation is still
+// current.
+func (s *Store) commit(e *entry, v *Volume) {
+	s.mu.Lock()
+	if e.lastGen == v.Gen {
+		s.insertResident(e, v)
+	}
+	s.mu.Unlock()
+}
+
+// persist writes v's bricks and manifest under the store's data dir.
+// Bricks land first (temp file + rename each); the manifest rename is
+// the commit point; stale higher-index bricks from a larger previous
+// generation are removed last.
+func (s *Store) persist(dirname string, v *Volume) error {
+	dir := filepath.Join(s.dir, dirname)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	es := v.Grid.Dtype().Size()
+	brickElems := s.brickBytes / es
+	if brickElems < 1 {
+		brickElems = 1
+	}
+	infos, err := writeGrid(dir, v.Grid, brickElems)
+	if err != nil {
+		return err
+	}
+	nx, ny, nz := v.Grid.Dims()
+	m := &volume.Manifest{
+		Version: volume.ManifestVersion,
+		Name:    v.Name, Dataset: v.Dataset, Layout: v.Layout,
+		Dtype: v.Grid.Dtype().String(), Nx: nx, Ny: ny, Nz: nz,
+		Elems:      v.Grid.Bytes() / int64(es),
+		BrickElems: brickElems,
+		Gen:        v.Gen, FilterKey: v.FilterKey,
+		Bricks: infos,
+	}
+	if err := volume.WriteManifestFile(filepath.Join(dir, volume.ManifestFile), m); err != nil {
+		return err
+	}
+	return volume.RemoveBricksFrom(dir, len(infos))
+}
+
+// Delete implements VolumeStore.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	e, ok := s.ents[name]
+	if !ok || e.deleted {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.deleted = true
+	if e.vol != nil {
+		s.lru.Remove(e.elem)
+		e.elem = nil
+		e.vol = nil
+		s.resident -= e.info.Bytes
+	}
+	gen := e.lastGen
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return nil
+	}
+	unlock := s.lockIO(name)
+	defer unlock()
+	s.mu.Lock()
+	current := e.deleted && e.lastGen == gen
+	s.mu.Unlock()
+	if !current {
+		return nil // a Put overtook the delete; its state owns the disk
+	}
+	// The tombstone keeps only what a re-create needs — the name and
+	// the generation floor; shape fields are placeholders that satisfy
+	// manifest validation.
+	dir := filepath.Join(s.dir, e.dirname)
+	m := &volume.Manifest{
+		Version: volume.ManifestVersion,
+		Name:    name, Dtype: "float32",
+		Nx: 1, Ny: 1, Nz: 1, Elems: 1,
+		Gen: gen, Deleted: true,
+	}
+	if err := volume.WriteManifestFile(filepath.Join(dir, volume.ManifestFile), m); err != nil {
+		return fmt.Errorf("store: tombstoning %q: %w", name, err)
+	}
+	if err := volume.RemoveBricksFrom(dir, 0); err != nil {
+		return fmt.Errorf("store: removing %q bricks: %w", name, err)
+	}
+	return nil
+}
+
+// Stat implements VolumeStore.
+func (s *Store) Stat(name string) (Info, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.ents[name]
+	if !ok || e.deleted {
+		return Info{}, false
+	}
+	info := e.info
+	info.Resident = e.vol != nil
+	return info, true
+}
+
+// List implements VolumeStore.
+func (s *Store) List() []Info {
+	s.mu.Lock()
+	out := make([]Info, 0, len(s.ents))
+	for _, e := range s.ents {
+		if e.deleted {
+			continue
+		}
+		info := e.info
+		info.Resident = e.vol != nil
+		out = append(out, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResidentBytes reports the RAM tier's current occupancy.
+func (s *Store) ResidentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resident
+}

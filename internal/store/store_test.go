@@ -1,0 +1,500 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sfcmem"
+	"sfcmem/internal/metrics"
+	"sfcmem/internal/volume"
+)
+
+// testVolume builds a small deterministic float32 volume. seed varies
+// the samples so replaced generations are distinguishable.
+func testVolume(t *testing.T, name string, seed int) *Volume {
+	t.Helper()
+	kind, err := sfcmem.ParseLayout("zorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := sfcmem.NewLayout(kind, 8, 8, 8)
+	g := sfcmem.NewGridOf[float32](l)
+	data := g.Data()
+	for i := range data {
+		data[i] = float32((i*31 + seed) % 257)
+	}
+	return &Volume{Name: name, Dataset: "test", Layout: "zorder", Grid: sfcmem.WrapAny(g)}
+}
+
+func samples(v *Volume) []float32 { return sfcmem.Grids[float32](v.Grid).Data() }
+
+func TestMemoryParity(t *testing.T) {
+	s := NewMemory(nil)
+	v1 := testVolume(t, "a", 1)
+	if err := s.Put(v1); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Gen != 1 {
+		t.Fatalf("first Put gen = %d, want 1", v1.Gen)
+	}
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v1 {
+		t.Fatal("RAM-only Get should return the stored *Volume unchanged")
+	}
+	v2 := testVolume(t, "a", 2)
+	if err := s.Put(v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Gen != 2 {
+		t.Fatalf("replacement gen = %d, want 2", v2.Gen)
+	}
+	if err := s.Put(testVolume(t, "b", 3)); err != nil {
+		t.Fatal(err)
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].Name != "a" || list[1].Name != "b" {
+		t.Fatalf("List = %+v", list)
+	}
+	for _, in := range list {
+		if !in.Resident {
+			t.Fatalf("RAM-only store reports %q non-resident", in.Name)
+		}
+	}
+	if in, ok := s.Stat("a"); !ok || in.Gen != 2 || in.Dtype != "float32" || in.Nx != 8 {
+		t.Fatalf("Stat(a) = %+v, %v", in, ok)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	if err := s.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete: %v", err)
+	}
+	v3 := testVolume(t, "a", 4)
+	if err := s.Put(v3); err != nil {
+		t.Fatal(err)
+	}
+	if v3.Gen != 3 {
+		t.Fatalf("re-create after delete gen = %d, want 3 (strictly higher)", v3.Gen)
+	}
+}
+
+func TestTieredPersistReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := testVolume(t, "vol/with spaces", 5)
+	v.FilterKey = "fk-123"
+	if err := s.Put(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "vol/with spaces", 6)); err != nil {
+		t.Fatal(err) // gen 2 overwrites gen 1 in place
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := r.Stat("vol/with spaces")
+	if !ok {
+		t.Fatal("reopened store lost the volume")
+	}
+	if in.Resident {
+		t.Fatal("reopen should index manifests, not load bricks")
+	}
+	if in.Gen != 2 || in.Dataset != "test" || in.Layout != "zorder" {
+		t.Fatalf("reopened Stat = %+v", in)
+	}
+	got, err := r.Get("vol/with spaces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testVolume(t, "vol/with spaces", 6)
+	if !reflect.DeepEqual(samples(got), samples(want)) {
+		t.Fatal("reloaded samples differ from what was stored")
+	}
+	if got.Gen != 2 {
+		t.Fatalf("reloaded gen = %d, want 2", got.Gen)
+	}
+	if in, _ := r.Stat("vol/with spaces"); !in.Resident {
+		t.Fatal("demand-loaded volume should be resident")
+	}
+}
+
+func TestFilterKeySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := testVolume(t, "filtered", 7)
+	v.FilterKey = "digest-of-filter-run"
+	if err := s.Put(v); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in, ok := r.Stat("filtered"); !ok || in.FilterKey != "digest-of-filter-run" {
+		t.Fatalf("FilterKey did not survive reopen: %+v, %v", in, ok)
+	}
+	got, err := r.Get("filtered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FilterKey != "digest-of-filter-run" {
+		t.Fatalf("loaded FilterKey = %q", got.FilterKey)
+	}
+}
+
+func TestEvictionAndDemandLoad(t *testing.T) {
+	volBytes := int64(8 * 8 * 8 * 4)
+	reg := metrics.NewRegistry()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{RAMBytes: volBytes + volBytes/2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Budget holds 1.5 volumes: storing b must evict a.
+	if s.evictions.Total() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.evictions.Total())
+	}
+	if in, _ := s.Stat("a"); in.Resident {
+		t.Fatal("a should have been evicted")
+	}
+	if in, _ := s.Stat("b"); !in.Resident {
+		t.Fatal("b should be resident")
+	}
+	if s.ResidentBytes() != volBytes {
+		t.Fatalf("resident bytes = %d, want %d", s.ResidentBytes(), volBytes)
+	}
+
+	got, err := s.Get("a") // demand page a back in; b becomes the LRU victim
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(samples(got), samples(testVolume(t, "a", 1))) {
+		t.Fatal("demand-loaded samples differ")
+	}
+	if s.loads.Total() != 1 {
+		t.Fatalf("loads = %d, want 1", s.loads.Total())
+	}
+	if s.loadBytes.Total() != uint64(volBytes) {
+		t.Fatalf("load_bytes = %d, want %d", s.loadBytes.Total(), volBytes)
+	}
+	if in, _ := s.Stat("b"); in.Resident {
+		t.Fatal("paging a in should evict b")
+	}
+	if s.loadLatency.Count() != 1 {
+		t.Fatalf("load_latency count = %d, want 1", s.loadLatency.Count())
+	}
+}
+
+// TestBudgetBelowVolumeSize pins the forced-demand-paging contract: a
+// budget smaller than a single volume keeps nothing resident, yet
+// every Get still serves the full volume.
+func TestBudgetBelowVolumeSize(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{RAMBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "big", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if in, _ := s.Stat("big"); in.Resident {
+		t.Fatal("volume larger than the budget should not stay resident")
+	}
+	for i := 0; i < 3; i++ {
+		got, err := s.Get("big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(samples(got), samples(testVolume(t, "big", 9))) {
+			t.Fatalf("get %d: samples differ", i)
+		}
+	}
+	if s.loads.Total() != 3 {
+		t.Fatalf("loads = %d, want 3 (every Get pages in)", s.loads.Total())
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{RAMBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	// The tiny budget evicted "a" immediately. Raise it so the single
+	// demand load stays resident, making late arrivals cache hits.
+	s.mu.Lock()
+	s.budget = 1 << 30
+	s.mu.Unlock()
+
+	const n = 16
+	var started sync.WaitGroup
+	started.Add(n)
+	s.testLoadDelay = func() { started.Wait() } // leader blocks until all n are past Add
+
+	var wg sync.WaitGroup
+	vols := make([]*Volume, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			v, err := s.Get("a")
+			if err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+			vols[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if s.loads.Total() != 1 {
+		t.Fatalf("loads = %d, want 1 (stampede must coalesce)", s.loads.Total())
+	}
+	for i := 1; i < n; i++ {
+		if vols[i] != vols[0] {
+			t.Fatalf("goroutine %d got a different volume instance", i)
+		}
+	}
+}
+
+func TestCorruptedBrickSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "a", 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Find the volume's brick and flip a payload bit.
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "00000.sfcb"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob: %v %v", matches, err)
+	}
+	b, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[volume.BrickHeaderLen+3] ^= 0x01
+	if err := os.WriteFile(matches[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Get("a")
+	if err == nil {
+		t.Fatal("corrupted brick served without error")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("corruption must not masquerade as not-found: %v", err)
+	}
+	if !strings.Contains(err.Error(), "sha256") || !strings.Contains(err.Error(), `"a"`) {
+		t.Fatalf("error should name the volume and the failed digest: %v", err)
+	}
+}
+
+func TestDeleteTombstoneAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "a", 2)); err != nil {
+		t.Fatal(err) // gen 2
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	// Bricks are gone; only the tombstone manifest remains.
+	if m, _ := filepath.Glob(filepath.Join(dir, "*", "*.sfcb")); len(m) != 0 {
+		t.Fatalf("bricks survive delete: %v", m)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Stat("a"); ok {
+		t.Fatal("deleted volume visible after reopen")
+	}
+	if list := r.List(); len(list) != 0 {
+		t.Fatalf("List after reopen = %+v", list)
+	}
+	v := testVolume(t, "a", 3)
+	if err := r.Put(v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Gen != 3 {
+		t.Fatalf("re-create across restart gen = %d, want 3 (tombstone keeps the floor)", v.Gen)
+	}
+}
+
+func TestDirForSafety(t *testing.T) {
+	a := dirFor("../../etc/passwd")
+	if strings.Contains(a, "/") || strings.HasPrefix(a, ".") {
+		t.Fatalf("dirFor must not escape the data dir: %q", a)
+	}
+	if dirFor("x") == dirFor("y") {
+		t.Fatal("distinct names collide")
+	}
+	long := strings.Repeat("n", 100)
+	if b := dirFor(long); len(b) > 60 {
+		t.Fatalf("dirFor too long: %d", len(b))
+	}
+	if dirFor(long) == dirFor(long+"z") {
+		t.Fatal("long names that share a prefix collide")
+	}
+}
+
+// TestConcurrentStress hammers one store with mixed operations; run
+// under -race it checks the locking protocol, and the final pass
+// checks every surviving name still round-trips its samples.
+func TestConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	volBytes := int64(8 * 8 * 8 * 4)
+	s, err := Open(dir, Options{RAMBytes: 2 * volBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d"}
+	for i, n := range names {
+		if err := s.Put(testVolume(t, n, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				name := names[rng.Intn(len(names))]
+				switch rng.Intn(10) {
+				case 0:
+					if err := s.Put(testVolume(t, name, rng.Intn(100))); err != nil {
+						t.Errorf("put %s: %v", name, err)
+					}
+				case 1:
+					if err := s.Delete(name); err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("delete %s: %v", name, err)
+					}
+				case 2:
+					s.List()
+				case 3:
+					s.Stat(name)
+				default:
+					v, err := s.Get(name)
+					if err != nil {
+						if !errors.Is(err, ErrNotFound) {
+							t.Errorf("get %s: %v", name, err)
+						}
+						continue
+					}
+					if got := len(samples(v)); got != 8*8*8 {
+						t.Errorf("get %s: %d samples", name, got)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, in := range s.List() {
+		if _, err := s.Get(in.Name); err != nil {
+			t.Errorf("post-stress get %s: %v", in.Name, err)
+		}
+	}
+	// Everything listed must also survive a reopen intact.
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.List()
+	got := r.List()
+	if len(got) != len(want) {
+		t.Fatalf("reopen lost volumes: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Name != want[i].Name || got[i].Gen != want[i].Gen {
+			t.Errorf("reopen entry %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	for _, in := range got {
+		if _, err := r.Get(in.Name); err != nil {
+			t.Errorf("reopen get %s: %v", in.Name, err)
+		}
+	}
+}
+
+// TestPutErrorKeepsPreviousContents: a failed persist must not damage
+// the live volume.
+func TestPutErrorKeepsPreviousContents(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("permission-denied persists are not enforceable as root")
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testVolume(t, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil || len(sub) != 1 {
+		t.Fatalf("glob: %v %v", sub, err)
+	}
+	if err := os.Chmod(sub[0], 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(sub[0], 0o755)
+	if err := s.Put(testVolume(t, "a", 2)); err == nil {
+		t.Fatal("persist into read-only dir should fail")
+	}
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(samples(got), samples(testVolume(t, "a", 1))) {
+		t.Fatal("failed Put corrupted the live volume")
+	}
+}
