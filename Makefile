@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet bench bench-smoke fuzz-smoke figures figures-quick cover cover-check race lint bench-regression bench-baseline clean
+.PHONY: all check build test vet bench bench-smoke fuzz-smoke figures figures-quick cover cover-check race lint bench-regression bench-baseline baseline-refresh tune-smoke clean
 
 all: check
 
@@ -62,7 +62,7 @@ bench-smoke:
 # against the committed baseline with cmd/benchdiff. Fails when a gated
 # benchmark regresses past BENCH_THRESHOLD percent. Refresh the
 # baseline after an intentional perf change with `make bench-baseline`.
-BENCH_GATE ?= FastPathBilatR5|FastPathVolrend|BilateralStepR5
+BENCH_GATE ?= FastPathBilatR5|FastPathVolrend|BilateralStepR5|BitLayout
 BENCH_THRESHOLD ?= 15
 bench-regression:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=3x -count=3 -benchmem . > bench_fresh.txt
@@ -73,6 +73,24 @@ bench-baseline:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=3x -count=3 -benchmem . > bench_fresh.txt
 	$(GO) run ./cmd/benchdiff -in bench_fresh.txt -baseline BENCH_baseline.json -update
 
+# Higher-fidelity baseline regeneration: min of 5 repeats per gated
+# benchmark, with a printed diff against the old baseline before it is
+# overwritten (the compare step is informational, never failing). CI
+# exposes this as a manually-dispatched job; run it locally after an
+# intentional perf change and commit the refreshed BENCH_baseline.json.
+baseline-refresh:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchtime=3x -count=5 -benchmem . > bench_fresh.txt
+	@echo "--- diff vs committed baseline ---"
+	-$(GO) run ./cmd/benchdiff -in bench_fresh.txt -baseline BENCH_baseline.json \
+	  -gate '$(BENCH_GATE)' -threshold $(BENCH_THRESHOLD)
+	$(GO) run ./cmd/benchdiff -in bench_fresh.txt -baseline BENCH_baseline.json -update
+
+# CI's autotune smoke: the tiny deterministic interleave search (fixed
+# seed, 16³, few generations) must pick the same layout on every run
+# and never score more simulated L1 misses than plain Z order.
+tune-smoke:
+	$(GO) test -run 'TestInterleave(Deterministic|BeatsOrMatchesZOrder|Volrend)|TestSweepTieBreak' -count=1 -v ./internal/tune
+
 # Short bursts of the native fuzz targets (Go allows one -fuzz pattern
 # per invocation, so the curves run back to back).
 FUZZTIME ?= 10s
@@ -81,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzHilbertRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzStepRoundTrip -fuzztime=$(FUZZTIME) ./internal/morton
 	$(GO) test -run='^$$' -fuzz=FuzzStepperWalk -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzBitLayoutRoundTrip -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzManifestRoundTrip -fuzztime=$(FUZZTIME) ./internal/volume
 	$(GO) test -run='^$$' -fuzz=FuzzBrickHeaderRoundTrip -fuzztime=$(FUZZTIME) ./internal/volume
 

@@ -502,3 +502,70 @@ func BenchmarkAblationSchedule(b *testing.B) {
 		})
 	}
 }
+
+// --- A11: generalized-Morton (BitLayout) cost and tuning payoff ---------
+
+// BenchmarkBitLayoutIndex prices the software-PDEP Index against the
+// native Z-order dilation tables at 256³: the round-robin spec computes
+// the same curve, so the delta is pure parameterization overhead.
+func BenchmarkBitLayoutIndex(b *testing.B) {
+	rr, err := core.NewBitLayout(256, 256, 256, core.RoundRobinSpec(256, 256, 256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	brick, err := core.NewBitLayout(256, 256, 256, "xyzxyz"+"xxxxxx"+"yyyyyy"+"zzzzzz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, l := range []struct {
+		name   string
+		layout core.Layout
+	}{
+		{"zorder", core.NewZOrder(256, 256, 256)},
+		{"bit-zspine", rr},
+		{"bit-brick4", brick},
+	} {
+		b.Run(l.name, func(b *testing.B) {
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += l.layout.Index(i&255, i>>8&255, i>>16&255)
+			}
+			benchImgSum += float64(sink & 1)
+		})
+	}
+}
+
+// BenchmarkBitLayoutBilatR5 runs the heavyweight bilateral configuration
+// over BitLayout through the masked neighbor-stepping walk — the cost a
+// tuned interleave pays at kernel time, comparable against
+// BilateralStepR5's zorder/step cell.
+func BenchmarkBitLayoutBilatR5(b *testing.B) {
+	const n = 32
+	for _, spec := range []struct {
+		name  string
+		order string
+	}{
+		{"zspine", core.RoundRobinSpec(n, n, n)},
+		// The 16³ tune-smoke winner's shape (z-major low bits for the
+		// z-inner stencil), lifted to 32³'s five bits per axis.
+		{"tuned", "zzzzzyxyyyyxxxx"},
+	} {
+		l, err := core.NewBitLayout(n, n, n, spec.order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec.name, func(b *testing.B) {
+			src := volume.MRIPhantom(l, 1, 0.05)
+			dst := grid.New(l)
+			opts := filter.Options{
+				Radius: 5, Axis: parallel.AxisX, Order: filter.XYZ, Workers: 4,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := filter.Apply(src, dst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

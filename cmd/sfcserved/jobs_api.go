@@ -198,12 +198,18 @@ func (s *server) renderJobSpec(req renderRequest, lane jobs.Lane, coarseLevel in
 	if lmax := maxCoarseLevel(plan.vol.Grid.Dims()); coarseLevel > lmax {
 		coarseLevel = lmax
 	}
-	kind, err := sfcmem.ParseLayout(plan.vol.Layout)
-	if err != nil {
+	// Probe the stored layout spec at the full extents so a corrupt
+	// string fails the request, not the job. The Setup closure re-parses
+	// at the coarse dims; a spec valid at the full extents is valid at
+	// every subsampled size (smaller extents need fewer bits, and a bit
+	// spec's surplus occurrences are inert).
+	fnx, fny, fnz := plan.vol.Grid.Dims()
+	if _, err := sfcmem.ParseLayoutSpec(plan.vol.Layout, fnx, fny, fnz); err != nil {
 		// Stored layouts were parsed at volume creation; this is a bug,
 		// not a client error.
 		return jobs.Spec{}, &httpErr{http.StatusInternalServerError, err.Error()}
 	}
+	layoutSpec := plan.vol.Layout
 	jt, _ := s.hub.Start(context.Background(), "job", hdr)
 	return jobs.Spec{
 		BatchKey: digest("render", plan.vol.Name, plan.vol.Gen, plan.dt, coarseLevel),
@@ -216,7 +222,13 @@ func (s *server) renderJobSpec(req renderRequest, lane jobs.Lane, coarseLevel in
 			sh := &renderShared{full: g}
 			if coarseLevel > 0 {
 				c, err := sfcmem.SubsampleAny(g, coarseLevel, func(nx, ny, nz int) sfcmem.Layout {
-					return sfcmem.NewLayout(kind, nx, ny, nz)
+					l, err := sfcmem.ParseLayoutSpec(layoutSpec, nx, ny, nz)
+					if err != nil {
+						// Unreachable: the spec parsed at the full extents
+						// above, and shrinking extents never invalidates it.
+						panic(fmt.Sprintf("layout spec %q invalid at %dx%dx%d: %v", layoutSpec, nx, ny, nz, err))
+					}
+					return l
 				})
 				if err != nil {
 					return nil, err

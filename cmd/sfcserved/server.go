@@ -86,6 +86,13 @@ type server struct {
 	deadlineMiss  *metrics.Counter
 	renderLatency *metrics.Histogram
 	filterLatency *metrics.Histogram
+
+	// tune.* family (see tune_api.go): request count, applied
+	// re-layouts, searches that beat Z order, search latency.
+	tuneReqs     *metrics.Counter
+	tuneApplied  *metrics.Counter
+	tuneImproved *metrics.Counter
+	tuneLatency  *metrics.Histogram
 }
 
 func newServer(vols store.VolumeStore, reg *metrics.Registry, slots, depth int, defaultDeadline, maxDeadline time.Duration) *server {
@@ -117,6 +124,7 @@ func newServer(vols store.VolumeStore, reg *metrics.Registry, slots, depth int, 
 	reg.Register("admission.queued", metrics.GaugeFunc(func() any { return len(s.queue) }))
 	reg.Register("admission.running", metrics.GaugeFunc(func() any { return len(s.run) }))
 	reg.Register("build.info", metrics.Info(versionInfo()))
+	s.enableTuneMetrics()
 	return s
 }
 
@@ -219,6 +227,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /volumes", s.instrument("volumes", s.handleCreateVolume))
 	m.HandleFunc("PUT /volumes/{name}", s.instrument("volumes", s.handleUploadVolume))
 	m.HandleFunc("DELETE /volumes/{name}", s.instrument("volumes", s.handleDeleteVolume))
+	m.HandleFunc("POST /volumes/{name}/tune", s.instrument("volumes", s.handleTuneVolume))
 	m.HandleFunc("POST /jobs", s.instrument("jobs", s.handleCreateJob))
 	m.HandleFunc("GET /jobs/{id}", s.instrument("jobs", s.handleGetJob))
 	m.HandleFunc("GET /jobs/{id}/events", s.instrument("jobs", s.handleJobEvents))
@@ -848,11 +857,6 @@ func (s *server) handleUploadVolume(w http.ResponseWriter, r *http.Request) {
 	if layoutName == "" {
 		layoutName = "zorder"
 	}
-	kind, err := sfcmem.ParseLayout(layoutName)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 	dims := [3]int{}
 	for i, key := range []string{"nx", "ny", "nz"} {
 		n, err := strconv.Atoi(q.Get(key))
@@ -870,14 +874,20 @@ func (s *server) handleUploadVolume(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("volume exceeds the %d-byte upload limit", maxUploadBytes), http.StatusRequestEntityTooLarge)
 		return
 	}
-	l := sfcmem.NewLayout(kind, dims[0], dims[1], dims[2])
+	// Spec-aware parse after the dims are known: a bit-interleave layout
+	// ("bit:yxzyxz…") validates against the extents it must address.
+	l, err := sfcmem.ParseLayoutSpec(layoutName, dims[0], dims[1], dims[2])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	g, err := sfcmem.LoadRawAny(http.MaxBytesReader(w, r.Body, maxUploadBytes), dt, l)
 	if err != nil {
 		// Truncation/oversize errors name expected vs actual byte counts.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.respondStored(w, &store.Volume{Name: name, Dataset: "upload", Layout: layoutName, Grid: g})
+	s.respondStored(w, &store.Volume{Name: name, Dataset: "upload", Layout: l.Name(), Grid: g})
 }
 
 // handleDeleteVolume removes a volume from every storage tier. The

@@ -29,7 +29,7 @@ func synthesizeVolume(name, dataset string, size int, layout, dtype string) (*st
 	if size < 2 || size > 512 {
 		return nil, fmt.Errorf("volume size %d out of range [2,512]", size)
 	}
-	kind, err := sfcmem.ParseLayout(layout)
+	l, err := sfcmem.ParseLayoutSpec(layout, size, size, size)
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +40,6 @@ func synthesizeVolume(name, dataset string, size int, layout, dtype string) (*st
 	if err != nil {
 		return nil, err
 	}
-	l := sfcmem.NewLayout(kind, size, size, size)
 	var g *sfcmem.AnyGrid
 	switch dataset {
 	case "plume":
@@ -50,18 +49,27 @@ func synthesizeVolume(name, dataset string, size int, layout, dtype string) (*st
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want plume or phantom)", dataset)
 	}
-	return &store.Volume{Name: name, Dataset: dataset, Layout: layout, Grid: g}, nil
+	// Store the layout's canonical name, not the request's spelling:
+	// aliases ("z") normalize, and a bit spec persists with exactly the
+	// string ParseLayoutSpec reconstructs from on reload.
+	return &store.Volume{Name: name, Dataset: dataset, Layout: l.Name(), Grid: g}, nil
 }
 
 // parseVolumeSpec parses one -volume flag value of the form
 // name=dataset:size:layout[:dtype], e.g. demo=plume:64:zorder or
-// demo8=plume:64:zorder:uint8. The dtype defaults to float32.
+// demo8=plume:64:zorder:uint8. The dtype defaults to float32. A
+// parameterized bit-interleave layout carries its own colon
+// ("bit:xyzxyzxyz"), so the layout field spans two parts when it starts
+// with "bit": demo=plume:64:bit:xyzxyzxyzxyzxyzxyz:uint8.
 func parseVolumeSpec(spec string) (*store.Volume, error) {
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok {
 		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout[:dtype]", spec)
 	}
 	parts := strings.Split(rest, ":")
+	if len(parts) >= 4 && strings.EqualFold(parts[2], "bit") {
+		parts = append(parts[:2], append([]string{parts[2] + ":" + parts[3]}, parts[4:]...)...)
+	}
 	if len(parts) != 3 && len(parts) != 4 {
 		return nil, fmt.Errorf("volume spec %q: want name=dataset:size:layout[:dtype]", spec)
 	}

@@ -111,6 +111,25 @@ func ParseKind(s string) (Kind, error) {
 	return 0, fmt.Errorf("core: unknown layout %q (recognized: array, zorder, tiled, hilbert, ztiled, hzorder)", s)
 }
 
+// ParseSpec resolves a layout specification string for an nx×ny×nz
+// grid. A spec is either a registry kind name as accepted by ParseKind
+// ("zorder", "tiled", …) or a parameterized generalized-Morton
+// interleave ("bit:yxzyxz…", see BitLayout). This is the constructor
+// for every layout string that travels — volume manifests, upload
+// query parameters, -volume flags — so a tuned layout persisted as
+// "bit:…" reconstructs exactly on reload.
+func ParseSpec(spec string, nx, ny, nz int) (Layout, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	if rest, ok := strings.CutPrefix(s, BitSpecPrefix); ok {
+		return NewBitLayout(nx, ny, nz, rest)
+	}
+	kind, err := ParseKind(s)
+	if err != nil {
+		return nil, err
+	}
+	return New(kind, nx, ny, nz), nil
+}
+
 // New constructs a layout of the given kind for an nx×ny×nz grid.
 // TiledKind uses DefaultTile; use NewTiled for a specific tile edge.
 func New(kind Kind, nx, ny, nz int) Layout {

@@ -46,6 +46,10 @@ const (
 	// intra-brick Morton bits, with a per-axis table fallback only when
 	// a step crosses a brick face.
 	StepBrickMorton
+	// StepMasked is BitLayout's walk: the same masked carry/borrow
+	// arithmetic as StepMorton, but over the layout's own per-axis bit
+	// lanes (an arbitrary interleave instead of every third bit).
+	StepMasked
 )
 
 // StepSpec carries the parameters a kernel inner loop needs to inline a
@@ -57,6 +61,10 @@ type StepSpec struct {
 	// BrickMask is brick-1 (StepBrickMorton only): (i+1)&BrickMask == 0
 	// detects a +x brick crossing, i&BrickMask == 0 a -x crossing.
 	BrickMask int
+	// MX, MY, MZ are the per-axis bit lanes of the flat index
+	// (StepMasked only): a ±axis step is morton.IncMask/DecMask over
+	// the axis's lane.
+	MX, MY, MZ uint64
 }
 
 // StepSpecFor resolves the neighbor-stepping recipe for a layout.
@@ -71,6 +79,8 @@ func StepSpecFor(l Layout) StepSpec {
 		return StepSpec{Mode: StepMorton}
 	case *ZTiled:
 		return StepSpec{Mode: StepBrickMorton, BrickMask: t.brick - 1}
+	case *BitLayout:
+		return StepSpec{Mode: StepMasked, MX: t.mx, MY: t.my, MZ: t.mz}
 	}
 	return StepSpec{}
 }
@@ -140,6 +150,89 @@ func (z *ZOrder) TryBackY(idx int) (int, bool) {
 func (z *ZOrder) TryBackZ(idx int) (int, bool) {
 	c, ok := morton.DecZBounded(uint64(idx))
 	return int(c), ok
+}
+
+// --- BitLayout: masked walk over arbitrary interleave lanes ---------
+
+// StepX returns the index of (i+1,j,k) given the index of (i,j,k): the
+// masked carry add over the layout's x lane, the direct generalization
+// of ZOrder's dilated-bit step to an arbitrary interleave. The caller
+// must ensure i+1 < nx (the carry would escape the lane); TryStepX is
+// the checked form.
+func (b *BitLayout) StepX(idx int) int { return int(morton.IncMask(uint64(idx), b.mx)) }
+
+// StepY returns the index of (i,j+1,k) given the index of (i,j,k); see
+// StepX.
+func (b *BitLayout) StepY(idx int) int { return int(morton.IncMask(uint64(idx), b.my)) }
+
+// StepZ returns the index of (i,j,k+1) given the index of (i,j,k); see
+// StepX.
+func (b *BitLayout) StepZ(idx int) int { return int(morton.IncMask(uint64(idx), b.mz)) }
+
+// BackX returns the index of (i-1,j,k) given the index of (i,j,k): the
+// masked borrow subtract. The caller must ensure i > 0; TryBackX is the
+// checked form.
+func (b *BitLayout) BackX(idx int) int { return int(morton.DecMask(uint64(idx), b.mx)) }
+
+// BackY returns the index of (i,j-1,k) given the index of (i,j,k); see
+// BackX.
+func (b *BitLayout) BackY(idx int) int { return int(morton.DecMask(uint64(idx), b.my)) }
+
+// BackZ returns the index of (i,j,k-1) given the index of (i,j,k); see
+// BackX.
+func (b *BitLayout) BackZ(idx int) int { return int(morton.DecMask(uint64(idx), b.mz)) }
+
+// TryStepX is the boundary-checked StepX: it refuses (returning idx
+// unchanged and false) when the neighbor would leave the logical x
+// extent. The bound check gathers the lane (O(spec) bits), which keeps
+// it off kernel inner loops — exactly the contract the other layouts'
+// Try forms follow.
+func (b *BitLayout) TryStepX(idx int) (int, bool) {
+	if int(morton.Extract(uint64(idx), b.mx))+1 >= b.nx {
+		return idx, false
+	}
+	return b.StepX(idx), true
+}
+
+// TryStepY is the boundary-checked StepY; see TryStepX.
+func (b *BitLayout) TryStepY(idx int) (int, bool) {
+	if int(morton.Extract(uint64(idx), b.my))+1 >= b.ny {
+		return idx, false
+	}
+	return b.StepY(idx), true
+}
+
+// TryStepZ is the boundary-checked StepZ; see TryStepX.
+func (b *BitLayout) TryStepZ(idx int) (int, bool) {
+	if int(morton.Extract(uint64(idx), b.mz))+1 >= b.nz {
+		return idx, false
+	}
+	return b.StepZ(idx), true
+}
+
+// TryBackX is the boundary-checked BackX: it refuses at i == 0 (an
+// empty lane) instead of underflowing it.
+func (b *BitLayout) TryBackX(idx int) (int, bool) {
+	if uint64(idx)&b.mx == 0 {
+		return idx, false
+	}
+	return b.BackX(idx), true
+}
+
+// TryBackY is the boundary-checked BackY; see TryBackX.
+func (b *BitLayout) TryBackY(idx int) (int, bool) {
+	if uint64(idx)&b.my == 0 {
+		return idx, false
+	}
+	return b.BackY(idx), true
+}
+
+// TryBackZ is the boundary-checked BackZ; see TryBackX.
+func (b *BitLayout) TryBackZ(idx int) (int, bool) {
+	if uint64(idx)&b.mz == 0 {
+		return idx, false
+	}
+	return b.BackZ(idx), true
 }
 
 // --- ZTiled: intra-brick Morton walk, tables on brick crossings -----

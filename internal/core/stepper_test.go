@@ -12,6 +12,14 @@ func TestStepSpecFor(t *testing.T) {
 	if s := StepSpecFor(NewZTiled(20, 20, 20, 8)); s.Mode != StepBrickMorton || s.BrickMask != 7 {
 		t.Errorf("ztiled spec = %+v", s)
 	}
+	bl, err := NewBitLayout(8, 8, 8, "xxyyzzxyz")
+	if err != nil {
+		t.Fatalf("NewBitLayout: %v", err)
+	}
+	// Lanes straight off the spec: x at bits 0,1,6; y at 2,3,7; z at 4,5,8.
+	if s := StepSpecFor(bl); s.Mode != StepMasked || s.MX != 0b001000011 || s.MY != 0b010001100 || s.MZ != 0b100110000 {
+		t.Errorf("bitlayout spec = %+v", s)
+	}
 	for _, l := range []Layout{
 		NewTiled(8, 8, 8, 4), NewHilbert(8, 8, 8), NewHZOrder(8, 8, 8),
 	} {
@@ -151,6 +159,19 @@ func FuzzStepperWalk(f *testing.F) {
 			func(idx int) (int, bool) { return z.TryBackX(idx) },
 			func(idx int) (int, bool) { return z.TryBackY(idx) },
 			func(idx int) (int, bool) { return z.TryBackZ(idx) })
+
+		spec := fuzzSpec(nx, ny, nz, uint64(brickRaw)*2654435761+uint64(iRaw))
+		bl, err := NewBitLayout(nx, ny, nz, spec)
+		if err != nil {
+			t.Fatalf("NewBitLayout(%d,%d,%d,%q): %v", nx, ny, nz, spec, err)
+		}
+		checkWalk(t, "bit:"+spec, nx, ny, nz, i, j, k, bl,
+			func(idx int) (int, bool) { return bl.TryStepX(idx) },
+			func(idx int) (int, bool) { return bl.TryStepY(idx) },
+			func(idx int) (int, bool) { return bl.TryStepZ(idx) },
+			func(idx int) (int, bool) { return bl.TryBackX(idx) },
+			func(idx int) (int, bool) { return bl.TryBackY(idx) },
+			func(idx int) (int, bool) { return bl.TryBackZ(idx) })
 
 		zt := NewZTiled(nx, ny, nz, brick)
 		checkWalk(t, "ztiled", nx, ny, nz, i, j, k, zt,

@@ -72,6 +72,8 @@ func stepPencilOf[T grid.Scalar](k *kernel, fsrc, fdst *grid.Flat[T], i, j, kk, 
 				buf[b] = voxelStepStride(k, fsrc, i, j, kk, srcIdx)
 			case core.StepMorton:
 				buf[b] = voxelStepMorton(k, fsrc, i, j, kk, srcIdx)
+			case core.StepMasked:
+				buf[b] = voxelStepMasked(k, fsrc, i, j, kk, srcIdx)
 			default:
 				buf[b] = voxelStepBrick(k, fsrc, i, j, kk, srcIdx)
 			}
@@ -115,6 +117,24 @@ func stepNextOf[T grid.Scalar](f *grid.Flat[T], idx, i, j, kk, di, dj, dk int) i
 			return idx
 		}
 		return int(c)
+	case core.StepMasked:
+		switch {
+		case di != 0:
+			if i+1 >= f.Nx {
+				return idx
+			}
+			return int(morton.IncMask(uint64(idx), f.Step.MX))
+		case dj != 0:
+			if j+1 >= f.Ny {
+				return idx
+			}
+			return int(morton.IncMask(uint64(idx), f.Step.MY))
+		default:
+			if kk+1 >= f.Nz {
+				return idx
+			}
+			return int(morton.IncMask(uint64(idx), f.Step.MZ))
+		}
 	case core.StepBrickMorton:
 		mask := f.Step.BrickMask
 		switch {
@@ -288,6 +308,86 @@ func voxelStepMorton[T grid.Scalar](k *kernel, f *grid.Flat[T], i, j, kk, center
 				row = morton.IncY(row)
 			}
 			c = morton.IncX(c)
+		}
+	}
+	if den == 0 {
+		return rawCenter
+	}
+	return grid.FromNorm[T](num/den, k.scale)
+}
+
+// voxelStepMasked is voxelFlatOf for BitLayout: the Z-order kernel's
+// structure with every fixed Morton lane replaced by the view's own
+// axis mask (core.StepMasked). The stencil corner is one masked
+// multi-step subtract per lane — deposit the back-step count into the
+// lane, subtract within it, exactly the Part1By2 corner trick
+// generalized. The taps advance by serial masked adds: the interleave
+// is arbitrary, so there is no per-kernel dilation table to make taps
+// independent (dilatedOffsets is Part1By2-specific), but a masked add
+// is three ALU ops and an in-bounds tap never carries out of its lane,
+// so the walk is still table-free. Tap order and float operations match
+// voxelFlatOf exactly, preserving bit-identity across layouts.
+func voxelStepMasked[T grid.Scalar](k *kernel, f *grid.Flat[T], i, j, kk, center int) T {
+	r := k.opt.Radius
+	side := 2*r + 1
+	rawCenter := f.Data[center]
+	cv := float64(rawCenter) * k.invScale
+	xlo, xhi := max(-r, -i), min(r, f.Nx-1-i)
+	ylo, yhi := max(-r, -j), min(r, f.Ny-1-j)
+	zlo, zhi := max(-r, -kk), min(r, f.Nz-1-kk)
+	mx, my, mz := f.Step.MX, f.Step.MY, f.Step.MZ
+	c := uint64(center)
+	c = (((c & mx) - morton.Deposit(uint64(-xlo), mx)) & mx) | (c &^ mx)
+	c = (((c & my) - morton.Deposit(uint64(-ylo), my)) & my) | (c &^ my)
+	c = (((c & mz) - morton.Deposit(uint64(-zlo), mz)) & mz) | (c &^ mz)
+	data := f.Data
+	var num, den float64
+	if k.opt.Order == XYZ {
+		for dz := zlo; dz <= zhi; dz++ {
+			row := c
+			for dy := ylo; dy <= yhi; dy++ {
+				base := ((dz+r)*side+(dy+r))*side + r
+				idx := row
+				for dx := xlo; dx <= xhi; dx++ {
+					v := float64(data[idx]) * k.invScale
+					w := k.spatial[base+dx] * k.rangeWeight(v-cv)
+					num += w * v
+					den += w
+					if dx < xhi {
+						idx = morton.IncMask(idx, mx)
+					}
+				}
+				if dy < yhi {
+					row = morton.IncMask(row, my)
+				}
+			}
+			if dz < zhi {
+				c = morton.IncMask(c, mz)
+			}
+		}
+	} else {
+		s2 := side * side
+		for dx := xlo; dx <= xhi; dx++ {
+			row := c
+			for dy := ylo; dy <= yhi; dy++ {
+				sbase := (dy+r)*side + dx + r
+				idx := row
+				for dz := zlo; dz <= zhi; dz++ {
+					v := float64(data[idx]) * k.invScale
+					w := k.spatial[(dz+r)*s2+sbase] * k.rangeWeight(v-cv)
+					num += w * v
+					den += w
+					if dz < zhi {
+						idx = morton.IncMask(idx, mz)
+					}
+				}
+				if dy < yhi {
+					row = morton.IncMask(row, my)
+				}
+			}
+			if dx < xhi {
+				c = morton.IncMask(c, mx)
+			}
 		}
 	}
 	if den == 0 {

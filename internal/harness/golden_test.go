@@ -61,11 +61,34 @@ func gridDigest(g *grid.Grid[float32]) string {
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
+// mustBit builds a BitLayout or fails the test; the golden matrices use
+// it to put generalized interleaves (tuner outputs) on the same digests
+// as the registry layouts.
+func mustBit(t *testing.T, nx, ny, nz int, spec string) core.Layout {
+	t.Helper()
+	l, err := core.NewBitLayout(nx, ny, nz, spec)
+	if err != nil {
+		t.Fatalf("NewBitLayout(%q): %v", spec, err)
+	}
+	return l
+}
+
 func TestGoldenFloat32Bilateral(t *testing.T) {
 	const nx, ny, nz = 40, 36, 28
 	base := volume.MRIPhantom(core.NewArrayOrder(nx, ny, nz), 7, 0.05)
-	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.TiledKind, core.ZTiledKind, core.HilbertKind} {
-		src, err := base.Relayout(core.New(kind, nx, ny, nz))
+	layouts := []core.Layout{
+		core.New(core.ArrayKind, nx, ny, nz),
+		core.New(core.ZKind, nx, ny, nz),
+		core.New(core.TiledKind, nx, ny, nz),
+		core.New(core.ZTiledKind, nx, ny, nz),
+		core.New(core.HilbertKind, nx, ny, nz),
+		// A generalized interleave (4×4×4 row-major-ish bricks on a
+		// Morton spine) — the masked stepping kernel must land on the
+		// same digest as every other layout/path combination.
+		mustBit(t, nx, ny, nz, "xxyyzzxyzxyzxyzxy"),
+	}
+	for _, layout := range layouts {
+		src, err := base.Relayout(layout)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +111,7 @@ func TestGoldenFloat32Bilateral(t *testing.T) {
 				{"table", false, true},
 				{"iface", true, false},
 			} {
-				dst := grid.New(core.New(kind, nx, ny, nz))
+				dst := grid.New(layout)
 				err := filter.Apply(src, dst, filter.Options{
 					Radius: 2, Axis: cfg.axis, Order: cfg.order, Workers: 3,
 					NoFastPath: path.noFast, NoStepper: path.noStep,
@@ -97,8 +120,8 @@ func TestGoldenFloat32Bilateral(t *testing.T) {
 					t.Fatal(err)
 				}
 				if got := gridDigest(dst); got != goldenBilat {
-					t.Errorf("bilat %v %s %s: hash %s, want %s (float32 output drifted from pre-generic kernel)",
-						kind, cfg.label, path.label, got, goldenBilat)
+					t.Errorf("bilat %s %s %s: hash %s, want %s (float32 output drifted from pre-generic kernel)",
+						layout.Name(), cfg.label, path.label, got, goldenBilat)
 				}
 			}
 		}
@@ -150,11 +173,10 @@ var goldenBilatDtype = map[grid.Dtype]string{
 	grid.F64: "5f42d51f5f8af718319346c15ed5adc8ef422dad5604aa7de33785b6d8e0f89f",
 }
 
-func checkGoldenBilatDtype[T grid.Scalar](t *testing.T, kind core.Kind) {
+func checkGoldenBilatDtype[T grid.Scalar](t *testing.T, layout core.Layout) {
 	t.Helper()
-	const nx, ny, nz = 40, 36, 28
 	want := goldenBilatDtype[grid.DtypeFor[T]()]
-	src := volume.MRIPhantomOf[T](core.New(kind, nx, ny, nz), 7, 0.05)
+	src := volume.MRIPhantomOf[T](layout, 7, 0.05)
 	for _, path := range []struct {
 		label          string
 		noFast, noStep bool
@@ -163,7 +185,7 @@ func checkGoldenBilatDtype[T grid.Scalar](t *testing.T, kind core.Kind) {
 		{"table", false, true},
 		{"iface", true, false},
 	} {
-		dst := grid.NewOf[T](core.New(kind, nx, ny, nz))
+		dst := grid.NewOf[T](layout)
 		err := filter.ApplyOf[T](src, dst, filter.Options{
 			Radius: 2, Axis: parallel.AxisX, Order: filter.XYZ, Workers: 3,
 			NoFastPath: path.noFast, NoStepper: path.noStep,
@@ -172,22 +194,30 @@ func checkGoldenBilatDtype[T grid.Scalar](t *testing.T, kind core.Kind) {
 			t.Fatal(err)
 		}
 		if got := gridDigestOf(dst); got != want {
-			t.Errorf("bilat %v %v %s: hash %s, want %s",
-				grid.DtypeFor[T](), kind, path.label, got, want)
+			t.Errorf("bilat %v %s %s: hash %s, want %s",
+				grid.DtypeFor[T](), layout.Name(), path.label, got, want)
 		}
 	}
 }
 
 // TestGoldenBilateralDtypes pins the per-dtype bilateral output across
-// the stepping, table, and interface paths on the two curve layouts the
-// stepper walks hardest (whole-volume Morton and Morton-in-bricks) plus
-// the stride layout. One digest per dtype across all of it.
+// the stepping, table, and interface paths on the curve layouts the
+// stepper walks hardest (whole-volume Morton, Morton-in-bricks, and a
+// generalized interleave on the masked walk) plus the stride layout.
+// One digest per dtype across all of it.
 func TestGoldenBilateralDtypes(t *testing.T) {
-	for _, kind := range []core.Kind{core.ArrayKind, core.ZKind, core.ZTiledKind} {
-		checkGoldenBilatDtype[uint8](t, kind)
-		checkGoldenBilatDtype[uint16](t, kind)
-		checkGoldenBilatDtype[float32](t, kind)
-		checkGoldenBilatDtype[float64](t, kind)
+	const nx, ny, nz = 40, 36, 28
+	layouts := []core.Layout{
+		core.New(core.ArrayKind, nx, ny, nz),
+		core.New(core.ZKind, nx, ny, nz),
+		core.New(core.ZTiledKind, nx, ny, nz),
+		mustBit(t, nx, ny, nz, "xxyyzzxyzxyzxyzxy"),
+	}
+	for _, layout := range layouts {
+		checkGoldenBilatDtype[uint8](t, layout)
+		checkGoldenBilatDtype[uint16](t, layout)
+		checkGoldenBilatDtype[float32](t, layout)
+		checkGoldenBilatDtype[float64](t, layout)
 	}
 }
 
@@ -215,8 +245,16 @@ func TestGoldenFloat32Gaussian(t *testing.T) {
 
 func TestGoldenFloat32Render(t *testing.T) {
 	const vn = 32
-	for _, kind := range []core.Kind{core.ZKind, core.HilbertKind} {
-		vol := volume.CombustionPlume(core.New(kind, vn, vn, vn), 3)
+	layouts := []core.Layout{
+		core.New(core.ZKind, vn, vn, vn),
+		core.New(core.HilbertKind, vn, vn, vn),
+		// A tuned-shape interleave: the renderer's flat sampling must be
+		// bit-identical to the Z-order render of the same volume — the
+		// guarantee the /tune endpoint relies on when it swaps layouts.
+		mustBit(t, vn, vn, vn, "yzxyzxyzxyzxyzx"),
+	}
+	for _, layout := range layouts {
+		vol := volume.CombustionPlume(layout, 3)
 		cam := render.Orbit(1, 8, vn, vn, vn, 64, 64)
 		for _, skip := range []bool{false, true} {
 			for _, noFast := range []bool{false, true} {
@@ -229,7 +267,7 @@ func TestGoldenFloat32Render(t *testing.T) {
 				h := sha256.New()
 				hashImage(h, img)
 				if got := fmt.Sprintf("%x", h.Sum(nil)); got != goldenRender {
-					t.Errorf("render %v skip=%v nofast=%v: hash %s, want %s", kind, skip, noFast, got, goldenRender)
+					t.Errorf("render %s skip=%v nofast=%v: hash %s, want %s", layout.Name(), skip, noFast, got, goldenRender)
 				}
 			}
 		}

@@ -429,11 +429,10 @@ func (s *Store) load(dirname string) (*Volume, error) {
 	if m.Deleted {
 		return nil, ErrNotFound
 	}
-	kind, err := sfcmem.ParseLayout(m.Layout)
+	l, err := sfcmem.ParseLayoutSpec(m.Layout, m.Nx, m.Ny, m.Nz)
 	if err != nil {
 		return nil, err
 	}
-	l := sfcmem.NewLayout(kind, m.Nx, m.Ny, m.Nz)
 	if int64(l.Len()) != m.Elems {
 		return nil, fmt.Errorf("layout %s %dx%dx%d holds %d elems in this build, manifest has %d (layout geometry changed?)",
 			m.Layout, m.Nx, m.Ny, m.Nz, l.Len(), m.Elems)

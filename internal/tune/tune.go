@@ -50,20 +50,24 @@ func rejectedErr(what string, rejected []Rejection) error {
 }
 
 // Sweep evaluates eval for every candidate and returns the parameter
-// with the lowest score plus all results in input order. It fails if
-// params is empty or any evaluation fails.
+// with the lowest score plus all results in input order. Ties break
+// toward the smaller parameter — a smaller tile or brick edge wastes
+// less padding and leaves more scheduling freedom, so when the
+// simulator can't tell candidates apart the simpler one wins
+// regardless of input order. It fails if params is empty or any
+// evaluation fails.
 func Sweep(params []int, eval func(p int) (float64, error)) (best int, results []Result, err error) {
 	if len(params) == 0 {
 		return 0, nil, fmt.Errorf("tune: no candidate parameters")
 	}
 	bestScore := math.Inf(1)
-	for _, p := range params {
+	for i, p := range params {
 		score, err := eval(p)
 		if err != nil {
 			return 0, nil, fmt.Errorf("tune: candidate %d: %w", p, err)
 		}
 		results = append(results, Result{Param: p, Score: score})
-		if score < bestScore {
+		if i == 0 || score < bestScore || (score == bestScore && p < best) {
 			bestScore, best = score, p
 		}
 	}

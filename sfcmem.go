@@ -68,6 +68,23 @@ func NewLayout(kind Kind, nx, ny, nz int) Layout { return core.New(kind, nx, ny,
 // "hilbert", and their aliases) to its Kind.
 func ParseLayout(name string) (Kind, error) { return core.ParseKind(name) }
 
+// ParseLayoutSpec resolves a layout specification string for an
+// nx×ny×nz grid: either a kind name as accepted by ParseLayout, or a
+// parameterized generalized-Morton interleave ("bit:yxzyxz…"). Layout
+// strings that travel — volume manifests, upload parameters, tuner
+// results — go through this so a tuned layout reconstructs exactly.
+func ParseLayoutSpec(spec string, nx, ny, nz int) (Layout, error) {
+	return core.ParseSpec(spec, nx, ny, nz)
+}
+
+// NewBitLayout constructs a generalized Morton (bit-interleave) layout
+// from an explicit interleave string, e.g. "xyzxyzxyz" (≡ Z order) or
+// "xxyyzzxyz" (4×4×4 row-major-ish bricks on a Morton spine); see
+// core.BitLayout.
+func NewBitLayout(nx, ny, nz int, order string) (Layout, error) {
+	return core.NewBitLayout(nx, ny, nz, order)
+}
+
 // StrideStats quantifies a layout's physical-memory locality for a
 // given access direction; see core.AxisStride and core.RayStride.
 type StrideStats = core.StrideStats
